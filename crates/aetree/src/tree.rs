@@ -1,0 +1,415 @@
+//! The `(n, I)`-party almost-everywhere communication tree (Def. 2.3) and
+//! its repeated-parties variant (Def. 3.4).
+//!
+//! This is the combinatorial object of King–Saia–Sanwalani–Vee (SODA '06)
+//! that both the SRDS robustness experiment (Fig. 1) and the BA protocol
+//! (Fig. 3) are built on:
+//!
+//! * a `branching`-ary rooted tree of `height` levels; level 0 holds the
+//!   leaf nodes, the top level the root;
+//! * every internal node is assigned a committee of parties;
+//! * every leaf is assigned `leaf_slots` **virtual slots**; virtual IDs are
+//!   laid out contiguously left-to-right, so the virtual IDs under any node
+//!   form one contiguous range (the planar/increasing-ID property the
+//!   paper's `range(v)` checks rely on);
+//! * each real party occupies `z` virtual slots (`z = 1` is Def. 2.3's
+//!   one-leaf-per-party assignment).
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_aetree::params::TreeParams;
+//! use pba_aetree::tree::Tree;
+//!
+//! let params = TreeParams::scaled(256, 2);
+//! let tree = Tree::build(&params, b"setup-seed");
+//! assert_eq!(tree.node_range(tree.height() - 1, 0), 0..params.total_slots() as u64);
+//! assert!(!tree.root_committee().is_empty());
+//! ```
+
+use crate::params::TreeParams;
+use pba_crypto::prg::Prg;
+use pba_net::PartyId;
+
+/// A node address: `(level, index)` with level 0 = leaves.
+pub type NodeAddr = (usize, usize);
+
+/// A built almost-everywhere communication tree.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    params: TreeParams,
+    /// `committees[level][node]` → committee members. For level 0 (leaves)
+    /// this is the multiset of parties occupying the leaf's virtual slots.
+    committees: Vec<Vec<Vec<PartyId>>>,
+    /// Virtual slot → real party; length `params.total_slots()`.
+    slot_party: Vec<PartyId>,
+    /// Real party → its virtual slots (sorted).
+    party_slots: Vec<Vec<u64>>,
+}
+
+impl Tree {
+    /// Builds the tree from setup randomness.
+    ///
+    /// The slot assignment is a PRG shuffle of each party repeated `z`
+    /// times (padded round-robin up to `total_slots`); internal committees
+    /// are PRG-sampled. Crucially — matching the paper's corruption model —
+    /// callers must derive `seed` from randomness fixed *after* the
+    /// adversary commits to its corruption set (the tree is built online by
+    /// the KSSV protocol, not by the trusted setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    pub fn build(params: &TreeParams, seed: &[u8]) -> Self {
+        params.validate().expect("invalid tree parameters");
+        let mut prg = Prg::from_seed_label(seed, "aetree-build");
+
+        // Virtual slot assignment: each party z times, padding round-robin.
+        let total = params.total_slots();
+        let mut slot_party: Vec<PartyId> = Vec::with_capacity(total);
+        for rep in 0..params.z {
+            let _ = rep;
+            for i in 0..params.n {
+                slot_party.push(PartyId::from(i));
+            }
+        }
+        let mut pad = 0usize;
+        while slot_party.len() < total {
+            slot_party.push(PartyId::from(pad % params.n));
+            pad += 1;
+        }
+        prg.shuffle(&mut slot_party);
+
+        let mut party_slots = vec![Vec::new(); params.n];
+        for (slot, &p) in slot_party.iter().enumerate() {
+            party_slots[p.index()].push(slot as u64);
+        }
+
+        // Leaf committees = parties of their slots.
+        let mut committees: Vec<Vec<Vec<PartyId>>> = Vec::with_capacity(params.height);
+        let mut leaves = Vec::with_capacity(params.leaf_count);
+        for leaf in 0..params.leaf_count {
+            let start = leaf * params.leaf_slots;
+            let members: Vec<PartyId> = slot_party[start..start + params.leaf_slots].to_vec();
+            leaves.push(members);
+        }
+        committees.push(leaves);
+
+        // Internal committees sampled from all parties.
+        for level in 1..params.height {
+            let count = params.nodes_at_level(level);
+            let mut level_committees = Vec::with_capacity(count);
+            for node in 0..count {
+                let mut node_prg =
+                    prg.child("committee", (level * params.leaf_count + node) as u64);
+                let members: Vec<PartyId> = node_prg
+                    .sample_distinct(params.n as u64, params.committee_size.min(params.n))
+                    .into_iter()
+                    .map(PartyId)
+                    .collect();
+                level_committees.push(members);
+            }
+            committees.push(level_committees);
+        }
+
+        Tree {
+            params: *params,
+            committees,
+            slot_party,
+            party_slots,
+        }
+    }
+
+    /// Builds a tree whose slot assignment is the **identity**: slot `i` is
+    /// party `i`. This is the layout of the SRDS security experiments
+    /// (Figures 1–2), where "level-0 nodes are indexed and ordered by the
+    /// parties … in increasing order". Internal committees are still
+    /// PRG-sampled from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `params.z == 1` and `params.total_slots() == params.n`
+    /// (use [`crate::params::TreeParams::for_slots`]).
+    pub fn build_identity(params: &TreeParams, seed: &[u8]) -> Self {
+        assert_eq!(params.z, 1, "identity layout requires z = 1");
+        assert_eq!(
+            params.total_slots(),
+            params.n,
+            "identity layout requires exactly one slot per party"
+        );
+        let random = Self::build(params, seed);
+        let slot_party: Vec<PartyId> = (0..params.n).map(PartyId::from).collect();
+        let mut committees = random.committees;
+        // Rebuild leaf committees to match the identity assignment.
+        for (leaf, committee) in committees[0].iter_mut().enumerate() {
+            let start = leaf * params.leaf_slots;
+            *committee = slot_party[start..start + params.leaf_slots].to_vec();
+        }
+        Tree::from_parts(params, committees, slot_party)
+    }
+
+    /// Builds a tree with **explicit committees and slot assignment** — the
+    /// constructor adversaries use in the Fig. 1 robustness experiment,
+    /// where the adversary chooses the tree (subject to Def. 2.3, which the
+    /// experiment validates separately via [`crate::analysis`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (level/node counts, slot counts).
+    pub fn from_parts(
+        params: &TreeParams,
+        committees: Vec<Vec<Vec<PartyId>>>,
+        slot_party: Vec<PartyId>,
+    ) -> Self {
+        params.validate().expect("invalid tree parameters");
+        assert_eq!(committees.len(), params.height, "level count mismatch");
+        for (level, nodes) in committees.iter().enumerate() {
+            assert_eq!(
+                nodes.len(),
+                params.nodes_at_level(level),
+                "node count mismatch at level {level}"
+            );
+        }
+        assert_eq!(
+            slot_party.len(),
+            params.total_slots(),
+            "slot count mismatch"
+        );
+        let mut party_slots = vec![Vec::new(); params.n];
+        for (slot, &p) in slot_party.iter().enumerate() {
+            party_slots[p.index()].push(slot as u64);
+        }
+        Tree {
+            params: *params,
+            committees,
+            slot_party,
+            party_slots,
+        }
+    }
+
+    /// The parameters this tree was built with.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// Number of node levels (level 0 = leaves, `height−1` = root).
+    pub fn height(&self) -> usize {
+        self.params.height
+    }
+
+    /// Number of nodes at `level`.
+    pub fn nodes_at_level(&self, level: usize) -> usize {
+        self.committees[level].len()
+    }
+
+    /// Committee of node `(level, node)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn committee(&self, level: usize, node: usize) -> &[PartyId] {
+        &self.committees[level][node]
+    }
+
+    /// The supreme committee (root).
+    pub fn root_committee(&self) -> &[PartyId] {
+        let root_level = self.params.height - 1;
+        &self.committees[root_level][0]
+    }
+
+    /// Children of an internal node, as indices at `level − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level == 0` (leaves have no node children).
+    pub fn children(&self, level: usize, node: usize) -> std::ops::Range<usize> {
+        assert!(level > 0, "leaves have no children nodes");
+        let b = self.params.branching;
+        node * b..(node + 1) * b
+    }
+
+    /// Parent index (at `level + 1`) of a non-root node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is the root level.
+    pub fn parent(&self, level: usize, node: usize) -> usize {
+        assert!(level + 1 < self.params.height, "root has no parent");
+        node / self.params.branching
+    }
+
+    /// Contiguous range of virtual slot IDs under node `(level, node)` —
+    /// the paper's `range(v)`.
+    pub fn node_range(&self, level: usize, node: usize) -> std::ops::Range<u64> {
+        let leaves_under = self.params.branching.pow(level as u32);
+        let first_leaf = node * leaves_under;
+        let start = (first_leaf * self.params.leaf_slots) as u64;
+        let end = start + (leaves_under * self.params.leaf_slots) as u64;
+        start..end
+    }
+
+    /// Virtual-slot range of a single leaf.
+    pub fn leaf_range(&self, leaf: usize) -> std::ops::Range<u64> {
+        self.node_range(0, leaf)
+    }
+
+    /// The leaf containing a virtual slot.
+    pub fn slot_leaf(&self, slot: u64) -> usize {
+        slot as usize / self.params.leaf_slots
+    }
+
+    /// Real party occupying a virtual slot.
+    pub fn slot_party(&self, slot: u64) -> PartyId {
+        self.slot_party[slot as usize]
+    }
+
+    /// All virtual slots of a real party (its `z` leaf memberships).
+    pub fn party_slots(&self, party: PartyId) -> &[u64] {
+        &self.party_slots[party.index()]
+    }
+
+    /// The distinct leaves a party belongs to.
+    pub fn party_leaves(&self, party: PartyId) -> Vec<usize> {
+        let mut leaves: Vec<usize> = self
+            .party_slots(party)
+            .iter()
+            .map(|&s| self.slot_leaf(s))
+            .collect();
+        leaves.sort_unstable();
+        leaves.dedup();
+        leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(n: usize, z: usize) -> Tree {
+        Tree::build(&TreeParams::scaled(n, z), b"test-seed")
+    }
+
+    #[test]
+    fn every_party_has_z_slots() {
+        let t = tree(100, 3);
+        let mut total = 0;
+        for p in 0..100 {
+            let slots = t.party_slots(PartyId(p));
+            assert!(slots.len() >= 3, "party {p} has {} slots", slots.len());
+            total += slots.len();
+        }
+        assert_eq!(total, t.params().total_slots());
+    }
+
+    #[test]
+    fn slot_party_consistency() {
+        let t = tree(64, 2);
+        for p in 0..64u64 {
+            for &s in t.party_slots(PartyId(p)) {
+                assert_eq!(t.slot_party(s), PartyId(p));
+            }
+        }
+    }
+
+    #[test]
+    fn node_ranges_are_contiguous_and_nested() {
+        let t = tree(256, 2);
+        let h = t.height();
+        // Root covers everything.
+        assert_eq!(t.node_range(h - 1, 0), 0..t.params().total_slots() as u64);
+        // Children partition parents.
+        for level in 1..h {
+            for node in 0..t.nodes_at_level(level) {
+                let parent_range = t.node_range(level, node);
+                let mut cursor = parent_range.start;
+                for child in t.children(level, node) {
+                    let cr = t.node_range(level - 1, child);
+                    assert_eq!(cr.start, cursor, "gap at level {level} node {node}");
+                    cursor = cr.end;
+                }
+                assert_eq!(cursor, parent_range.end);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_child_inverse() {
+        let t = tree(256, 1);
+        for level in 1..t.height() {
+            for node in 0..t.nodes_at_level(level) {
+                for child in t.children(level, node) {
+                    assert_eq!(t.parent(level - 1, child), node);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_committees_match_slots() {
+        let t = tree(128, 2);
+        for leaf in 0..t.params().leaf_count {
+            let committee = t.committee(0, leaf);
+            let range = t.leaf_range(leaf);
+            assert_eq!(committee.len(), t.params().leaf_slots);
+            for (i, slot) in range.enumerate() {
+                assert_eq!(committee[i], t.slot_party(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn internal_committees_have_distinct_members() {
+        let t = tree(512, 1);
+        for level in 1..t.height() {
+            for node in 0..t.nodes_at_level(level) {
+                let c = t.committee(level, node);
+                let set: std::collections::HashSet<_> = c.iter().collect();
+                assert_eq!(set.len(), c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let p = TreeParams::scaled(64, 2);
+        let a = Tree::build(&p, b"s");
+        let b = Tree::build(&p, b"s");
+        assert_eq!(a.root_committee(), b.root_committee());
+        let c = Tree::build(&p, b"other");
+        // Different seeds give different assignments (overwhelmingly).
+        assert_ne!(
+            (0..p.total_slots() as u64)
+                .map(|s| a.slot_party(s))
+                .collect::<Vec<_>>(),
+            (0..p.total_slots() as u64)
+                .map(|s| c.slot_party(s))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn party_leaves_dedup() {
+        let t = tree(64, 4);
+        for p in 0..64u64 {
+            let leaves = t.party_leaves(PartyId(p));
+            let mut sorted = leaves.clone();
+            sorted.dedup();
+            assert_eq!(leaves, sorted);
+            assert!(!leaves.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let t = tree(64, 1);
+        let rebuilt = Tree::from_parts(t.params(), t.committees.clone(), t.slot_party.clone());
+        assert_eq!(rebuilt.root_committee(), t.root_committee());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count mismatch")]
+    fn from_parts_validates_slots() {
+        let t = tree(64, 1);
+        Tree::from_parts(t.params(), t.committees.clone(), vec![PartyId(0)]);
+    }
+}

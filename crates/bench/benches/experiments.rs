@@ -1,0 +1,72 @@
+//! Criterion benches for the SRDS security games (experiments E2/E3,
+//! Figures 1–2): how fast a full robustness/forgery game runs, per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_bench::bench_owf;
+use pba_srds::experiments::{
+    run_forgery, run_robustness, AggregateForgeryAdversary, DefaultRobustnessAdversary,
+};
+use pba_srds::snark::SnarkSrds;
+
+fn bench_fig1_robustness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_robustness");
+    group.sample_size(10);
+    let n = 200;
+    let t = 20;
+    group.bench_function(BenchmarkId::new("owf", n), |b| {
+        let scheme = bench_owf();
+        b.iter(|| {
+            let out =
+                run_robustness(&scheme, n, t, &mut DefaultRobustnessAdversary, b"bench").unwrap();
+            assert!(out.verified);
+        });
+    });
+    group.bench_function(BenchmarkId::new("snark", n), |b| {
+        let scheme = SnarkSrds::with_defaults();
+        b.iter(|| {
+            let out =
+                run_robustness(&scheme, n, t, &mut DefaultRobustnessAdversary, b"bench").unwrap();
+            assert!(out.verified);
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig2_forgery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_forgery");
+    group.sample_size(10);
+    let n = 200;
+    let t = 20;
+    group.bench_function(BenchmarkId::new("owf", n), |b| {
+        let scheme = bench_owf();
+        b.iter(|| {
+            let out = run_forgery(
+                &scheme,
+                n,
+                t,
+                &mut AggregateForgeryAdversary::default(),
+                b"bench",
+            )
+            .unwrap();
+            assert!(!out.forged);
+        });
+    });
+    group.bench_function(BenchmarkId::new("snark", n), |b| {
+        let scheme = SnarkSrds::with_defaults();
+        b.iter(|| {
+            let out = run_forgery(
+                &scheme,
+                n,
+                t,
+                &mut AggregateForgeryAdversary::default(),
+                b"bench",
+            )
+            .unwrap();
+            assert!(!out.forged);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(experiments, bench_fig1_robustness, bench_fig2_forgery);
+criterion_main!(experiments);

@@ -1,0 +1,86 @@
+//! Criterion benches for the end-to-end `π_ba` protocol (experiment E4 /
+//! Figure 3) and the Table 1 rows at a fixed size (experiment E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_bench::{bench_owf, measure, Protocol};
+use pba_core::broadcast::run_broadcasts;
+use pba_core::protocol::{run_ba, BaConfig};
+use pba_net::PartyId;
+use pba_srds::snark::{SnarkSrds, SnarkSrdsConfig};
+
+fn bench_fig3_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_pi_ba");
+    group.sample_size(10);
+    let n = 128;
+    for (name, byzantine) in [("honest", false), ("byzantine", true)] {
+        group.bench_function(BenchmarkId::new("snark", name), |b| {
+            let scheme = SnarkSrds::with_defaults();
+            b.iter(|| {
+                let config = if byzantine {
+                    BaConfig::byzantine(n, 12, b"bench-fig3")
+                } else {
+                    BaConfig::honest(n, b"bench-fig3")
+                };
+                let out = run_ba(&scheme, &config, &vec![1u8; n]);
+                assert!(out.agreement);
+            });
+        });
+        group.bench_function(BenchmarkId::new("owf", name), |b| {
+            let scheme = bench_owf();
+            b.iter(|| {
+                let config = if byzantine {
+                    BaConfig::byzantine(n, 12, b"bench-fig3")
+                } else {
+                    BaConfig::honest(n, b"bench-fig3")
+                };
+                let out = run_ba(&scheme, &config, &vec![1u8; n]);
+                assert!(out.agreement);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_row_n128");
+    group.sample_size(10);
+    for protocol in [
+        Protocol::PiBaSnark,
+        Protocol::MultisigBoost,
+        Protocol::SqrtSampling,
+        Protocol::AllToAll,
+    ] {
+        group.bench_function(protocol.label(), |b| {
+            b.iter(|| measure(protocol, 128, b"bench-table1"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cor12_broadcast");
+    group.sample_size(10);
+    let scheme = SnarkSrds::new(SnarkSrdsConfig {
+        mss_bits: 32,
+        mss_height: 2,
+    });
+    for ell in [1usize, 4] {
+        group.bench_function(BenchmarkId::from_parameter(ell), |b| {
+            let values: Vec<u8> = (0..ell).map(|i| (i % 2) as u8).collect();
+            b.iter(|| {
+                let config = BaConfig::honest(64, b"bench-bc");
+                let out = run_broadcasts(&scheme, &config, PartyId(3), &values);
+                assert!(out.all_delivered);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    protocol,
+    bench_fig3_protocol,
+    bench_table1_rows,
+    bench_broadcast
+);
+criterion_main!(protocol);

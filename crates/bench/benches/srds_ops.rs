@@ -1,0 +1,66 @@
+//! Criterion benches for SRDS primitive operations: key generation,
+//! signing, batch aggregation, and verification — for both paper
+//! constructions and the multisignature baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_crypto::prg::Prg;
+use pba_srds::multisig::MultisigSrds;
+use pba_srds::owf::OwfSrds;
+use pba_srds::snark::SnarkSrds;
+use pba_srds::traits::{PkiBoard, Srds};
+
+fn bench_scheme<S>(c: &mut Criterion, name: &str, scheme: &S, n: usize)
+where
+    S: Srds,
+{
+    let mut group = c.benchmark_group(format!("srds/{name}"));
+    group.sample_size(20);
+    let mut prg = Prg::from_seed_bytes(b"srds-ops");
+    let board = PkiBoard::establish(scheme, n, &mut prg);
+    let keys = board.prepare(scheme);
+    let message = b"bench-message";
+
+    group.bench_function(BenchmarkId::new("keygen", n), |b| {
+        b.iter(|| {
+            let mut kprg = prg.child("kg", 0);
+            scheme.keygen(&board.pp, &mut kprg)
+        });
+    });
+
+    // Pick a signer that actually can sign (OWF sortition losers return ⊥).
+    let signer = (0..n as u64)
+        .find(|&i| {
+            scheme
+                .sign(&board.pp, i, &board.sks[i as usize], message)
+                .is_some()
+        })
+        .expect("at least one signer");
+    group.bench_function(BenchmarkId::new("sign", n), |b| {
+        b.iter(|| scheme.sign(&board.pp, signer, &board.sks[signer as usize], message));
+    });
+
+    let sigs: Vec<S::Signature> = (0..n as u64)
+        .filter_map(|i| scheme.sign(&board.pp, i, &board.sks[i as usize], message))
+        .collect();
+    group.bench_function(BenchmarkId::new("aggregate_batch16", n), |b| {
+        let batch = &sigs[..sigs.len().min(16)];
+        b.iter(|| scheme.aggregate(&board.pp, &keys, message, batch).is_some());
+    });
+
+    let agg = scheme
+        .aggregate(&board.pp, &keys, message, &sigs)
+        .expect("aggregate");
+    group.bench_function(BenchmarkId::new("verify", n), |b| {
+        b.iter(|| assert!(scheme.verify(&board.pp, &keys, message, &agg)));
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_scheme(c, "owf", &OwfSrds::with_defaults(), 256);
+    bench_scheme(c, "snark", &SnarkSrds::with_defaults(), 256);
+    bench_scheme(c, "multisig", &MultisigSrds::with_defaults(), 256);
+}
+
+criterion_group!(srds_ops, benches);
+criterion_main!(srds_ops);

@@ -1,0 +1,100 @@
+//! Criterion benches for the substrate layers: the CRH, Merkle trees, the
+//! almost-everywhere communication tree, committee phase-king, and the
+//! subset-task SNARG (experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pba_aetree::params::TreeParams;
+use pba_aetree::tree::Tree;
+use pba_core::baselines::all_to_all_ba_real;
+use pba_crypto::merkle::MerkleTree;
+use pba_crypto::prg::Prg;
+use pba_crypto::sha256::Sha256;
+use pba_snark::subset::{subset_snarg, SubsetInstance, SubsetOp};
+use pba_snark::system::SnarkCrs;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [256usize, 4096] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| i.to_le_bytes().to_vec()).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::from_leaves(leaves.iter()));
+        });
+        let tree = MerkleTree::from_leaves(leaves.iter());
+        group.bench_with_input(BenchmarkId::new("prove+verify", n), &tree, |b, tree| {
+            b.iter(|| {
+                let proof = tree.prove(n / 2);
+                assert!(proof.verify(&tree.root(), &leaves[n / 2]));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ae_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ae_tree_build");
+    for n in [1024usize, 8192] {
+        let params = TreeParams::scaled(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, params| {
+            b.iter(|| Tree::build(params, b"bench-seed"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_king(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_king_committee");
+    group.sample_size(20);
+    for n in [16usize, 31] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| all_to_all_ba_real(n, n / 4, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_snarg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_snarg");
+    let snarg = subset_snarg(SnarkCrs::setup(b"bench-crs"));
+    for k in [64usize, 1024] {
+        let mut prg = Prg::from_seed_bytes(b"subset-bench");
+        let (instance, witness) = SubsetInstance::sample_planted(SubsetOp::Sum, k, &mut prg);
+        group.bench_with_input(
+            BenchmarkId::new("prove", k),
+            &(&instance, &witness),
+            |b, (instance, witness)| {
+                b.iter(|| snarg.prove(instance, witness).unwrap());
+            },
+        );
+        let proof = snarg.prove(&instance, &witness).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("verify", k),
+            &(&instance, &proof),
+            |b, (instance, proof)| {
+                b.iter(|| assert!(snarg.verify(instance, proof)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_ae_tree,
+    bench_phase_king,
+    bench_subset_snarg
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Non-interactive hash-based commitments (random-oracle style), used in the
+//! commit–reveal coin tossing of `f_ct`.
+//!
+//! `commit(value, randomness) = SHA256("pba-commit" ‖ r ‖ value)`. Hiding
+//! holds because the 32-byte randomness masks the value under the
+//! random-oracle heuristic; binding holds by collision resistance.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::commit::Commitment;
+//! use pba_crypto::prg::Prg;
+//!
+//! let mut prg = Prg::from_seed_bytes(b"r");
+//! let (c, opening) = Commitment::commit(b"vote: 1", &mut prg);
+//! assert!(c.verify(b"vote: 1", &opening));
+//! assert!(!c.verify(b"vote: 0", &opening));
+//! ```
+
+use crate::prg::Prg;
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+const DOMAIN: &[u8] = b"pba-commit-v1";
+
+/// The opening (decommitment) randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Opening(pub [u8; DIGEST_LEN]);
+
+/// A hash commitment to a byte string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Commitment(pub Digest);
+
+impl Commitment {
+    /// Commits to `value` with fresh randomness from `prg`.
+    pub fn commit(value: &[u8], prg: &mut Prg) -> (Commitment, Opening) {
+        let mut r = [0u8; DIGEST_LEN];
+        rand::RngCore::fill_bytes(prg, &mut r);
+        let opening = Opening(r);
+        (Self::commit_with(value, &opening), opening)
+    }
+
+    /// Deterministic commitment given explicit randomness.
+    pub fn commit_with(value: &[u8], opening: &Opening) -> Commitment {
+        let mut h = Sha256::new();
+        h.update(DOMAIN);
+        h.update(&opening.0);
+        h.update(value);
+        Commitment(h.finalize())
+    }
+
+    /// Verifies that `(value, opening)` opens this commitment.
+    pub fn verify(&self, value: &[u8], opening: &Opening) -> bool {
+        Self::commit_with(value, opening) == *self
+    }
+
+    /// Raw digest of the commitment.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_verify() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let (c, o) = Commitment::commit(b"secret", &mut prg);
+        assert!(c.verify(b"secret", &o));
+    }
+
+    #[test]
+    fn wrong_value_or_opening_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let (c, o) = Commitment::commit(b"secret", &mut prg);
+        assert!(!c.verify(b"Secret", &o));
+        let mut bad = o;
+        bad.0[0] ^= 1;
+        assert!(!c.verify(b"secret", &Opening(bad.0)));
+    }
+
+    #[test]
+    fn hiding_smoke() {
+        // Commitments to the same value with different randomness differ.
+        let mut prg = Prg::from_seed_bytes(b"h");
+        let (c1, _) = Commitment::commit(b"v", &mut prg);
+        let (c2, _) = Commitment::commit(b"v", &mut prg);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn deterministic_given_opening() {
+        let o = Opening([7u8; DIGEST_LEN]);
+        assert_eq!(
+            Commitment::commit_with(b"v", &o),
+            Commitment::commit_with(b"v", &o)
+        );
+    }
+}

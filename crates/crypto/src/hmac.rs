@@ -1,0 +1,172 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on our [`crate::sha256`].
+//!
+//! HMAC is used as the workspace's PRF, as the MAC inside the simulated
+//! SNARK system of `pba-snark`, and as the keyed compression step of the PRG.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+//! assert_eq!(
+//!     tag.to_hex(),
+//!     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8",
+//! );
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN};
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the SHA-256 block size are hashed first, per the spec.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// use pba_crypto::hmac::{hmac_sha256, HmacSha256};
+///
+/// let mut mac = HmacSha256::new(b"k");
+/// mac.update(b"part1");
+/// mac.update(b"part2");
+/// assert_eq!(mac.finalize(), hmac_sha256(b"k", b"part1part2"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let hashed = Sha256::digest(key);
+            key_block[..hashed.as_bytes().len()].copy_from_slice(hashed.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = key_block[i] ^ IPAD;
+            opad_key[i] = key_block[i] ^ OPAD;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Feeds message bytes into the MAC.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC computation.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// Constant-time-ish verification of an expected tag.
+    ///
+    /// The comparison accumulates differences over all bytes rather than
+    /// short-circuiting. (Inside a simulator this is hygiene, not a hard
+    /// security requirement.)
+    pub fn verify(self, expected: &Digest) -> bool {
+        let got = self.finalize();
+        let mut diff = 0u8;
+        for (a, b) in got.as_bytes().iter().zip(expected.as_bytes()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), hmac_sha256(b"key", b"hello world"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"m");
+        assert!(mac.verify(&tag));
+
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"m'");
+        assert!(!mac.verify(&tag));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

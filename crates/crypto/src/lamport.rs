@@ -1,0 +1,316 @@
+//! Lamport one-time signatures with **oblivious key generation**.
+//!
+//! This is the exact primitive the paper's OWF-based SRDS needs (§2.2,
+//! Theorem 2.7): a signature scheme where a verification key can be sampled
+//! *without* learning a corresponding signing key, and where keys generated
+//! obliviously are indistinguishable from keys generated with a signing key.
+//!
+//! Construction (Lamport '79 with hash-compressed public keys):
+//!
+//! * the message is hashed and truncated to `bits` bits;
+//! * the signing key is `2·bits` random 32-byte preimages;
+//! * the verification key is `SHA256(H(x_{0,0}) ‖ H(x_{0,1}) ‖ …)` — a single
+//!   digest;
+//! * a signature reveals, per position, the preimage selected by the message
+//!   bit and the *hash* of the complementary preimage, letting the verifier
+//!   recompute the key digest.
+//!
+//! Oblivious key generation samples the verification key uniformly at random:
+//! since `H` outputs are pseudorandom, oblivious keys are indistinguishable
+//! from real ones, which is what lets the SRDS sortition hide who can sign.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::lamport::{LamportParams, LamportKeyPair};
+//! use pba_crypto::prg::Prg;
+//!
+//! let params = LamportParams::new(64);
+//! let mut prg = Prg::from_seed_bytes(b"keygen");
+//! let kp = LamportKeyPair::generate(&params, &mut prg);
+//! let sig = kp.sign(b"message");
+//! assert!(params.verify(&kp.verification_key(), b"message", &sig));
+//! assert!(!params.verify(&kp.verification_key(), b"other", &sig));
+//! ```
+
+use crate::prg::Prg;
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+/// Parameters for the Lamport scheme: how many message-digest bits are signed.
+///
+/// `bits` trades signature size (`bits · 64` bytes) against the concrete
+/// hardness of finding a second message with a colliding truncated digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LamportParams {
+    bits: usize,
+}
+
+impl Default for LamportParams {
+    fn default() -> Self {
+        Self::new(128)
+    }
+}
+
+impl LamportParams {
+    /// Creates parameters signing `bits` digest bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 256`.
+    pub fn new(bits: usize) -> Self {
+        assert!((1..=256).contains(&bits), "bits must be in 1..=256");
+        LamportParams { bits }
+    }
+
+    /// Number of signed digest bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Signature size in bytes on the wire (including the codec's two
+    /// 8-byte sequence-length prefixes).
+    pub fn signature_len(&self) -> usize {
+        16 + self.bits * 2 * DIGEST_LEN
+    }
+
+    /// Truncated message digest as a bit vector (LSB-first within bytes).
+    fn message_bits(&self, message: &[u8]) -> Vec<bool> {
+        let d = Sha256::digest(message);
+        (0..self.bits)
+            .map(|i| (d.as_bytes()[i / 8] >> (i % 8)) & 1 == 1)
+            .collect()
+    }
+
+    /// Verifies `sig` on `message` under `vk`.
+    pub fn verify(
+        &self,
+        vk: &LamportVerificationKey,
+        message: &[u8],
+        sig: &LamportSignature,
+    ) -> bool {
+        if sig.revealed.len() != self.bits || sig.complement_hashes.len() != self.bits {
+            return false;
+        }
+        let bits = self.message_bits(message);
+        let mut key_hasher = Sha256::new();
+        for (i, &bit) in bits.iter().enumerate() {
+            let revealed_hash = Sha256::digest(&sig.revealed[i]);
+            let (h0, h1) = if bit {
+                (sig.complement_hashes[i], revealed_hash)
+            } else {
+                (revealed_hash, sig.complement_hashes[i])
+            };
+            key_hasher.update(h0.as_bytes());
+            key_hasher.update(h1.as_bytes());
+        }
+        key_hasher.finalize() == vk.0
+    }
+}
+
+/// A Lamport verification key: a single 32-byte digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LamportVerificationKey(pub Digest);
+
+impl LamportVerificationKey {
+    /// **Oblivious key generation**: samples a verification key uniformly,
+    /// with no corresponding signing key in existence.
+    ///
+    /// Indistinguishable from a real key under the pseudorandomness of the
+    /// hash; this is the heart of the sortition-based trusted PKI.
+    pub fn generate_oblivious(prg: &mut Prg) -> Self {
+        LamportVerificationKey(prg.next_digest())
+    }
+
+    /// Raw digest of the key.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+/// A Lamport signing/verification key pair.
+#[derive(Clone, Debug)]
+pub struct LamportKeyPair {
+    params: LamportParams,
+    // preimages[i] = (x_{i,0}, x_{i,1})
+    preimages: Vec<([u8; DIGEST_LEN], [u8; DIGEST_LEN])>,
+    vk: LamportVerificationKey,
+}
+
+impl LamportKeyPair {
+    /// Generates a fresh key pair from `prg`.
+    pub fn generate(params: &LamportParams, prg: &mut Prg) -> Self {
+        let mut preimages = Vec::with_capacity(params.bits);
+        let mut key_hasher = Sha256::new();
+        for _ in 0..params.bits {
+            let mut x0 = [0u8; DIGEST_LEN];
+            let mut x1 = [0u8; DIGEST_LEN];
+            rand::RngCore::fill_bytes(prg, &mut x0);
+            rand::RngCore::fill_bytes(prg, &mut x1);
+            key_hasher.update(Sha256::digest(&x0).as_bytes());
+            key_hasher.update(Sha256::digest(&x1).as_bytes());
+            preimages.push((x0, x1));
+        }
+        let vk = LamportVerificationKey(key_hasher.finalize());
+        LamportKeyPair {
+            params: *params,
+            preimages,
+            vk,
+        }
+    }
+
+    /// The verification key.
+    pub fn verification_key(&self) -> LamportVerificationKey {
+        self.vk
+    }
+
+    /// Signs a message. **One-time**: signing two distinct messages with the
+    /// same key reveals enough preimages to forge.
+    pub fn sign(&self, message: &[u8]) -> LamportSignature {
+        let bits = self.params.message_bits(message);
+        let mut revealed = Vec::with_capacity(bits.len());
+        let mut complement_hashes = Vec::with_capacity(bits.len());
+        for (i, &bit) in bits.iter().enumerate() {
+            let (x0, x1) = &self.preimages[i];
+            if bit {
+                revealed.push(*x1);
+                complement_hashes.push(Sha256::digest(x0));
+            } else {
+                revealed.push(*x0);
+                complement_hashes.push(Sha256::digest(x1));
+            }
+        }
+        LamportSignature {
+            revealed,
+            complement_hashes,
+        }
+    }
+}
+
+/// A Lamport signature: one revealed preimage and one complementary hash per
+/// signed bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LamportSignature {
+    revealed: Vec<[u8; DIGEST_LEN]>,
+    complement_hashes: Vec<Digest>,
+}
+
+impl LamportSignature {
+    /// Wire size in bytes (including the codec's two 8-byte sequence-length
+    /// prefixes).
+    pub fn encoded_len(&self) -> usize {
+        16 + (self.revealed.len() + self.complement_hashes.len()) * DIGEST_LEN
+    }
+
+    /// Accessors used by codecs.
+    pub fn into_parts(self) -> (Vec<[u8; DIGEST_LEN]>, Vec<Digest>) {
+        (self.revealed, self.complement_hashes)
+    }
+
+    /// Rebuilds a signature from codec parts.
+    pub fn from_parts(revealed: Vec<[u8; DIGEST_LEN]>, complement_hashes: Vec<Digest>) -> Self {
+        LamportSignature {
+            revealed,
+            complement_hashes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LamportParams, LamportKeyPair) {
+        let params = LamportParams::new(64);
+        let mut prg = Prg::from_seed_bytes(b"test-keygen");
+        let kp = LamportKeyPair::generate(&params, &mut prg);
+        (params, kp)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (params, kp) = setup();
+        let sig = kp.sign(b"hello");
+        assert!(params.verify(&kp.verification_key(), b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (params, kp) = setup();
+        let sig = kp.sign(b"hello");
+        assert!(!params.verify(&kp.verification_key(), b"hellO", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (params, kp) = setup();
+        let mut prg = Prg::from_seed_bytes(b"other");
+        let other = LamportKeyPair::generate(&params, &mut prg);
+        let sig = kp.sign(b"hello");
+        assert!(!params.verify(&other.verification_key(), b"hello", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (params, kp) = setup();
+        let sig = kp.sign(b"hello");
+        let (mut revealed, complements) = sig.into_parts();
+        revealed[0][0] ^= 1;
+        let bad = LamportSignature::from_parts(revealed, complements);
+        assert!(!params.verify(&kp.verification_key(), b"hello", &bad));
+    }
+
+    #[test]
+    fn truncated_signature_rejected() {
+        let (params, kp) = setup();
+        let sig = kp.sign(b"hello");
+        let (mut revealed, mut complements) = sig.into_parts();
+        revealed.pop();
+        complements.pop();
+        let bad = LamportSignature::from_parts(revealed, complements);
+        assert!(!params.verify(&kp.verification_key(), b"hello", &bad));
+    }
+
+    #[test]
+    fn oblivious_key_cannot_verify_anything_sensible() {
+        let (params, kp) = setup();
+        let mut prg = Prg::from_seed_bytes(b"obliv");
+        let ovk = LamportVerificationKey::generate_oblivious(&mut prg);
+        let sig = kp.sign(b"m");
+        assert!(!params.verify(&ovk, b"m", &sig));
+    }
+
+    #[test]
+    fn oblivious_keys_look_like_real_keys() {
+        // Both are 32-byte digests; a trivial distinguisher (first byte bias)
+        // should see none. This is a smoke test of the format, not a proof.
+        let params = LamportParams::new(16);
+        let mut prg = Prg::from_seed_bytes(b"dist");
+        let mut real_first = Vec::new();
+        let mut obliv_first = Vec::new();
+        for _ in 0..64 {
+            real_first.push(LamportKeyPair::generate(&params, &mut prg).vk.0.as_bytes()[0]);
+            obliv_first.push(
+                LamportVerificationKey::generate_oblivious(&mut prg)
+                    .0
+                    .as_bytes()[0],
+            );
+        }
+        let avg = |v: &[u8]| v.iter().map(|&b| b as f64).sum::<f64>() / v.len() as f64;
+        assert!((avg(&real_first) - avg(&obliv_first)).abs() < 64.0);
+    }
+
+    #[test]
+    fn signature_len_matches_params() {
+        let (params, kp) = setup();
+        let sig = kp.sign(b"x");
+        assert_eq!(sig.encoded_len(), params.signature_len());
+    }
+
+    #[test]
+    fn deterministic_keygen_from_seed() {
+        let params = LamportParams::new(32);
+        let k1 = LamportKeyPair::generate(&params, &mut Prg::from_seed_bytes(b"s"));
+        let k2 = LamportKeyPair::generate(&params, &mut Prg::from_seed_bytes(b"s"));
+        assert_eq!(k1.verification_key(), k2.verification_key());
+    }
+}

@@ -1,0 +1,164 @@
+//! The pseudorandom function family `F = {F_s}` used in step 7 of the BA
+//! protocol (Fig. 3 of the paper): `F_s` maps a party index `i ∈ [n]` to a
+//! pseudorandom subset of `[n]` of size polylog(n).
+//!
+//! Party `P_i` sends its certified output to every party in `F_s(i)`, and a
+//! receiver `P_j` accepts a message from `P_i` only if `j ∈ F_s(i)`. Because
+//! the seed `s` is chosen by coin tossing *after* corruptions are fixed, the
+//! adversary cannot concentrate recipients, and every honest party receives
+//! the certificate from at least one honest sender with overwhelming
+//! probability while processing only Õ(1) messages.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::prf::SubsetPrf;
+//! use pba_crypto::sha256::Sha256;
+//!
+//! let seed = Sha256::digest(b"coin-tossing output");
+//! let prf = SubsetPrf::new(seed, 1000, 16);
+//! let targets = prf.eval(7);
+//! assert_eq!(targets.len(), 16);
+//! assert!(prf.contains(7, targets[0]));
+//! ```
+
+use crate::hmac::hmac_sha256;
+use crate::prg::Prg;
+use crate::sha256::Digest;
+
+/// `F_s : [n] → ([n] choose k)` — a PRF whose outputs are size-`k` subsets.
+///
+/// Evaluation is deterministic in `(s, i)`; membership queries are supported
+/// without materializing the whole subset order.
+#[derive(Clone, Debug)]
+pub struct SubsetPrf {
+    seed: Digest,
+    n: u64,
+    k: usize,
+}
+
+impl SubsetPrf {
+    /// Creates the PRF `F_s` for universe size `n` and subset size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n` or `n == 0`.
+    pub fn new(seed: Digest, n: u64, k: usize) -> Self {
+        assert!(n > 0, "universe must be nonempty");
+        assert!(k as u64 <= n, "subset size {k} exceeds universe {n}");
+        SubsetPrf { seed, n, k }
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Subset size `k`.
+    pub fn subset_size(&self) -> usize {
+        self.k
+    }
+
+    /// Evaluates `F_s(i)`: the pseudorandom subset assigned to index `i`.
+    pub fn eval(&self, i: u64) -> Vec<u64> {
+        let key = hmac_sha256(self.seed.as_bytes(), &i.to_le_bytes());
+        let mut prg = Prg::from_digest(&key);
+        self.k_distinct(&mut prg)
+    }
+
+    fn k_distinct(&self, prg: &mut Prg) -> Vec<u64> {
+        prg.sample_distinct(self.n, self.k)
+    }
+
+    /// Returns true iff `j ∈ F_s(i)`.
+    ///
+    /// This is the receiver-side filter of step 8 in Fig. 3: `P_j` processes a
+    /// message from `P_i` only when this predicate holds for the seed carried
+    /// in the (verified) certificate.
+    pub fn contains(&self, i: u64, j: u64) -> bool {
+        self.eval(i).contains(&j)
+    }
+
+    /// Inverse image restricted to senders: all `i ∈ [n]` with `j ∈ F_s(i)`.
+    ///
+    /// Linear scan over the universe — used by tests and analysis, not by the
+    /// protocol itself (a party never needs the full preimage).
+    pub fn senders_to(&self, j: u64) -> Vec<u64> {
+        (0..self.n).filter(|&i| self.contains(i, j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::Sha256;
+
+    fn prf(n: u64, k: usize) -> SubsetPrf {
+        SubsetPrf::new(Sha256::digest(b"seed"), n, k)
+    }
+
+    #[test]
+    fn eval_is_deterministic_and_distinct() {
+        let f = prf(500, 12);
+        let a = f.eval(3);
+        let b = f.eval(3);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 12);
+        assert!(a.iter().all(|&v| v < 500));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let f = prf(500, 12);
+        assert_ne!(f.eval(1), f.eval(2));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SubsetPrf::new(Sha256::digest(b"s1"), 100, 10).eval(5);
+        let b = SubsetPrf::new(Sha256::digest(b"s2"), 100, 10).eval(5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn contains_matches_eval() {
+        let f = prf(200, 8);
+        for i in 0..20 {
+            let subset = f.eval(i);
+            for j in 0..200 {
+                assert_eq!(f.contains(i, j), subset.contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_every_party_has_a_sender() {
+        // With n=256 and k = 4*log2(n) = 32, every party should be in some
+        // F_s(i) image with overwhelming probability (coupon collector).
+        let n = 256u64;
+        let f = prf(n, 32);
+        for j in 0..n {
+            assert!(
+                !f.senders_to(j).is_empty(),
+                "party {j} unreachable under PRF"
+            );
+        }
+    }
+
+    #[test]
+    fn in_degree_is_balanced() {
+        // In-degree concentrates around k; no party should be wildly above.
+        let n = 256u64;
+        let k = 16usize;
+        let f = prf(n, k);
+        let max_in = (0..n).map(|j| f.senders_to(j).len()).max().unwrap();
+        assert!(max_in < 5 * k, "max in-degree {max_in} too skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "subset size")]
+    fn oversize_subset_panics() {
+        SubsetPrf::new(Digest::ZERO, 4, 5);
+    }
+}

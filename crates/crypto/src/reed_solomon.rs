@@ -1,0 +1,370 @@
+//! Reed–Solomon decoding over `F_{2^61−1}` via the Berlekamp–Welch
+//! algorithm: recovers a degree-`< k` polynomial from `m` evaluations of
+//! which up to `e` are adversarially wrong, whenever `m ≥ k + 2e`.
+//!
+//! This is the error-corrected share reconstruction that makes the
+//! committee coin toss robust: with a `2/3`-honest committee of size `c`
+//! and sharing threshold `t = ⌊(c−1)/3⌋`, every dealer's secret is
+//! recoverable from the echoed shares even when all `t` corrupt members
+//! contribute garbage — the classic `c ≥ 3t + 1` regime.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::field::Fp;
+//! use pba_crypto::poly::Polynomial;
+//! use pba_crypto::reed_solomon::decode;
+//!
+//! // Degree-1 polynomial, 5 shares, 1 corrupted.
+//! let f = Polynomial::new(vec![Fp::new(42), Fp::new(7)]);
+//! let mut points: Vec<(Fp, Fp)> = (1..=5u64)
+//!     .map(|x| (Fp::new(x), f.eval(Fp::new(x))))
+//!     .collect();
+//! points[2].1 = Fp::new(999_999); // corruption
+//! let recovered = decode(&points, 2, 1).expect("decodable");
+//! assert_eq!(recovered.eval(Fp::ZERO), Fp::new(42));
+//! ```
+
+use crate::field::Fp;
+use crate::poly::Polynomial;
+use std::fmt;
+
+/// Errors from Reed–Solomon decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RsError {
+    /// Fewer than `k + 2e` points were supplied.
+    NotEnoughPoints {
+        /// Points supplied.
+        have: usize,
+        /// Points required.
+        need: usize,
+    },
+    /// Two points share an x-coordinate.
+    DuplicateX,
+    /// The linear system is inconsistent — more than `e` errors.
+    TooManyErrors,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::NotEnoughPoints { have, need } => {
+                write!(f, "need {need} points to decode, have {have}")
+            }
+            RsError::DuplicateX => f.write_str("duplicate x-coordinate"),
+            RsError::TooManyErrors => f.write_str("more errors than the code can correct"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// Solves a square linear system `A·x = b` over `F_p` by Gaussian
+/// elimination. Returns `None` if `A` is singular.
+#[allow(clippy::needless_range_loop)] // index-based elimination reads clearer here
+fn solve_linear(mut a: Vec<Vec<Fp>>, mut b: Vec<Fp>) -> Option<Vec<Fp>> {
+    let n = b.len();
+    for col in 0..n {
+        // Find pivot.
+        let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = a[col][col].inverse();
+        for j in col..n {
+            a[col][j] *= inv;
+        }
+        b[col] *= inv;
+        for r in 0..n {
+            if r != col && !a[r][col].is_zero() {
+                let factor = a[r][col];
+                for j in col..n {
+                    let v = a[col][j];
+                    a[r][j] -= factor * v;
+                }
+                let bv = b[col];
+                b[r] -= factor * bv;
+            }
+        }
+    }
+    Some(b)
+}
+
+/// Divides polynomial `num` by `den`, returning the quotient if the
+/// division is exact.
+fn poly_div_exact(num: &[Fp], den: &[Fp]) -> Option<Vec<Fp>> {
+    let dn = den.iter().rposition(|c| !c.is_zero())?;
+    let nn = match num.iter().rposition(|c| !c.is_zero()) {
+        Some(v) => v,
+        None => return Some(vec![Fp::ZERO]), // 0 / den = 0
+    };
+    if nn < dn {
+        return None;
+    }
+    let mut rem: Vec<Fp> = num.to_vec();
+    let mut quot = vec![Fp::ZERO; nn - dn + 1];
+    let lead_inv = den[dn].inverse();
+    for i in (0..quot.len()).rev() {
+        let coeff = rem[i + dn] * lead_inv;
+        quot[i] = coeff;
+        for j in 0..=dn {
+            rem[i + j] -= coeff * den[j];
+        }
+    }
+    rem.iter().all(Fp::is_zero).then_some(quot)
+}
+
+/// Berlekamp–Welch: decodes the unique degree-`< k` polynomial from
+/// `points`, tolerating up to `e` wrong evaluations.
+///
+/// # Errors
+///
+/// * [`RsError::NotEnoughPoints`] if `points.len() < k + 2e`;
+/// * [`RsError::DuplicateX`] on repeated x-coordinates;
+/// * [`RsError::TooManyErrors`] if no consistent codeword exists.
+pub fn decode(points: &[(Fp, Fp)], k: usize, e: usize) -> Result<Polynomial, RsError> {
+    assert!(k >= 1, "message polynomial needs at least one coefficient");
+    let m = points.len();
+    if m < k + 2 * e {
+        return Err(RsError::NotEnoughPoints {
+            have: m,
+            need: k + 2 * e,
+        });
+    }
+    {
+        let mut xs: Vec<u64> = points.iter().map(|(x, _)| x.value()).collect();
+        xs.sort_unstable();
+        if xs.windows(2).any(|w| w[0] == w[1]) {
+            return Err(RsError::DuplicateX);
+        }
+    }
+    if e == 0 {
+        // Plain interpolation on the first k points, then consistency check.
+        let poly = interpolate(&points[..k]);
+        return if points.iter().all(|&(x, y)| poly.eval(x) == y) {
+            Ok(poly)
+        } else {
+            Err(RsError::TooManyErrors)
+        };
+    }
+
+    // Berlekamp–Welch: find E (monic, deg e) and Q (deg < k + e) with
+    //   Q(x_i) = y_i · E(x_i)  for all i.
+    // Unknowns: e coefficients of E (monic) + (k + e) of Q.
+    // Try decreasing error counts: with fewer than `e` actual errors the
+    // degree-e system can be singular, so fall back gracefully.
+    for errs in (0..=e).rev() {
+        if m < k + 2 * errs {
+            continue;
+        }
+        let unknowns = errs + k + errs;
+        let rows = m.min(unknowns);
+        let _ = rows;
+        let mut a: Vec<Vec<Fp>> = Vec::with_capacity(unknowns);
+        let mut b: Vec<Fp> = Vec::with_capacity(unknowns);
+        for &(x, y) in points.iter().take(unknowns) {
+            let mut row = Vec::with_capacity(unknowns);
+            // E coefficients e_0..e_{errs-1} (monic leading coeff folded into rhs).
+            let mut xp = Fp::ONE;
+            for _ in 0..errs {
+                row.push(y * xp);
+                xp *= x;
+            }
+            let x_to_errs = xp; // x^errs
+                                // Q coefficients q_0..q_{k+errs-1}, negated.
+            let mut xq = Fp::ONE;
+            for _ in 0..(k + errs) {
+                row.push(-xq);
+                xq *= x;
+            }
+            a.push(row);
+            b.push(-(y * x_to_errs));
+        }
+        let Some(solution) = solve_linear(a, b) else {
+            continue;
+        };
+        // Rebuild E (monic) and Q.
+        let mut e_coeffs: Vec<Fp> = solution[..errs].to_vec();
+        e_coeffs.push(Fp::ONE);
+        let q_coeffs: Vec<Fp> = solution[errs..].to_vec();
+        let Some(f_coeffs) = poly_div_exact(&q_coeffs, &e_coeffs) else {
+            continue;
+        };
+        let mut coeffs = f_coeffs;
+        coeffs.truncate(k);
+        while coeffs.len() < k {
+            coeffs.push(Fp::ZERO);
+        }
+        let poly = Polynomial::new(coeffs);
+        // Accept iff consistent with all but <= e points.
+        let wrong = points.iter().filter(|&&(x, y)| poly.eval(x) != y).count();
+        if wrong <= e {
+            return Ok(poly);
+        }
+    }
+    Err(RsError::TooManyErrors)
+}
+
+#[allow(clippy::needless_range_loop)] // coefficient-index arithmetic is clearer by index
+fn interpolate(points: &[(Fp, Fp)]) -> Polynomial {
+    // Lagrange interpolation, building coefficients.
+    let k = points.len();
+    let mut coeffs = vec![Fp::ZERO; k];
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // Basis polynomial l_i(x) = prod_{j!=i} (x - x_j) / (x_i - x_j)
+        let mut basis = vec![Fp::ZERO; k];
+        basis[0] = Fp::ONE;
+        let mut deg = 0;
+        let mut denom = Fp::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // basis *= (x - xj)
+            let mut next = vec![Fp::ZERO; k];
+            for d in 0..=deg {
+                next[d + 1] += basis[d];
+                next[d] -= basis[d] * xj;
+            }
+            basis = next;
+            deg += 1;
+            denom *= xi - xj;
+        }
+        let scale = yi * denom.inverse();
+        for d in 0..k {
+            coeffs[d] += basis[d] * scale;
+        }
+    }
+    Polynomial::new(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prg::Prg;
+
+    fn random_poly(k: usize, prg: &mut Prg) -> Polynomial {
+        Polynomial::new((0..k).map(|_| Fp::random(prg)).collect())
+    }
+
+    fn shares(poly: &Polynomial, m: usize) -> Vec<(Fp, Fp)> {
+        (1..=m as u64)
+            .map(|x| (Fp::new(x), poly.eval(Fp::new(x))))
+            .collect()
+    }
+
+    #[test]
+    fn decode_without_errors() {
+        let mut prg = Prg::from_seed_bytes(b"rs0");
+        for k in 1..6 {
+            let poly = random_poly(k, &mut prg);
+            let pts = shares(&poly, k + 4);
+            let got = decode(&pts, k, 0).unwrap();
+            assert_eq!(got.coefficients(), poly.coefficients());
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn decode_with_max_errors() {
+        let mut prg = Prg::from_seed_bytes(b"rs1");
+        for (k, e) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2), (4, 3)] {
+            let poly = random_poly(k, &mut prg);
+            let m = k + 2 * e;
+            let mut pts = shares(&poly, m);
+            // Corrupt exactly e positions.
+            for i in 0..e {
+                pts[i * 2].1 = Fp::random(&mut prg);
+            }
+            let got = decode(&pts, k, e).unwrap_or_else(|err| panic!("k={k} e={e}: {err}"));
+            assert_eq!(got.coefficients(), poly.coefficients(), "k={k} e={e}");
+        }
+    }
+
+    #[test]
+    fn decode_with_fewer_errors_than_budget() {
+        let mut prg = Prg::from_seed_bytes(b"rs2");
+        let poly = random_poly(3, &mut prg);
+        let mut pts = shares(&poly, 3 + 2 * 3);
+        pts[1].1 = Fp::random(&mut prg); // only 1 error, budget 3
+        let got = decode(&pts, 3, 3).unwrap();
+        assert_eq!(got.coefficients(), poly.coefficients());
+    }
+
+    #[test]
+    fn committee_regime_c_3t_plus_1() {
+        // c = 3t+1 members echo a degree-t sharing; t of them lie.
+        let mut prg = Prg::from_seed_bytes(b"rs3");
+        for t in 1..5usize {
+            let c = 3 * t + 1;
+            let poly = random_poly(t + 1, &mut prg);
+            let mut pts = shares(&poly, c);
+            for i in 0..t {
+                pts[c - 1 - i].1 = Fp::random(&mut prg);
+            }
+            let got = decode(&pts, t + 1, t).unwrap();
+            assert_eq!(
+                got.eval(Fp::ZERO),
+                poly.eval(Fp::ZERO),
+                "secret mismatch at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_errors_detected() {
+        let mut prg = Prg::from_seed_bytes(b"rs4");
+        let poly = random_poly(2, &mut prg);
+        let mut pts = shares(&poly, 6);
+        // 3 errors with budget 1: must not silently return a wrong poly
+        // consistent with <= 1 errors.
+        for pt in pts.iter_mut().take(3) {
+            pt.1 = Fp::random(&mut prg);
+        }
+        match decode(&pts, 2, 1) {
+            Err(RsError::TooManyErrors) => {}
+            Ok(got) => {
+                let wrong = pts.iter().filter(|&&(x, y)| got.eval(x) != y).count();
+                assert!(wrong <= 1, "accepted polynomial inconsistent with bound");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn not_enough_points() {
+        let pts = vec![(Fp::new(1), Fp::new(2))];
+        assert_eq!(
+            decode(&pts, 2, 1),
+            Err(RsError::NotEnoughPoints { have: 1, need: 4 })
+        );
+    }
+
+    #[test]
+    fn duplicate_x_rejected() {
+        let pts = vec![
+            (Fp::new(1), Fp::new(2)),
+            (Fp::new(1), Fp::new(3)),
+            (Fp::new(2), Fp::new(4)),
+            (Fp::new(3), Fp::new(5)),
+        ];
+        assert_eq!(decode(&pts, 2, 1), Err(RsError::DuplicateX));
+    }
+
+    #[test]
+    fn zero_polynomial_decodes() {
+        let pts: Vec<(Fp, Fp)> = (1..=5u64).map(|x| (Fp::new(x), Fp::ZERO)).collect();
+        let got = decode(&pts, 2, 1).unwrap();
+        assert_eq!(got.eval(Fp::new(77)), Fp::ZERO);
+    }
+
+    #[test]
+    fn interpolate_matches_poly_module() {
+        let mut prg = Prg::from_seed_bytes(b"rs5");
+        let poly = random_poly(4, &mut prg);
+        let pts = shares(&poly, 4);
+        let got = interpolate(&pts);
+        for x in 0..10u64 {
+            assert_eq!(got.eval(Fp::new(x)), poly.eval(Fp::new(x)));
+        }
+    }
+}

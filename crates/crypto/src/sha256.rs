@@ -1,0 +1,400 @@
+//! A from-scratch implementation of SHA-256 (FIPS 180-4).
+//!
+//! This is the collision-resistant hash underlying every other primitive in
+//! the workspace: HMAC, the PRF/PRG, Merkle trees, Lamport/Merkle signatures,
+//! and commitments. It supports incremental (streaming) hashing through
+//! [`Sha256`] and one-shot hashing through [`Sha256::digest`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::sha256::Sha256;
+//!
+//! let d = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     d.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! ```
+
+use std::fmt;
+
+/// Number of bytes in a SHA-256 digest.
+pub const DIGEST_LEN: usize = 32;
+
+/// SHA-256 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// A 32-byte SHA-256 digest.
+///
+/// Digests are the universal "value" type of the crate: Merkle roots, PRF
+/// keys, commitments and node identifiers are all `Digest`s.
+///
+/// # Examples
+///
+/// ```
+/// use pba_crypto::sha256::{Digest, Sha256};
+///
+/// let d: Digest = Sha256::digest(b"hello");
+/// assert_eq!(d.as_bytes().len(), 32);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest; used as a sentinel for "empty".
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Creates a digest from raw bytes.
+    pub const fn new(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning the underlying array.
+    pub fn into_bytes(self) -> [u8; DIGEST_LEN] {
+        self.0
+    }
+
+    /// Lowercase hexadecimal rendering of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string is not exactly 64 hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != DIGEST_LEN * 2 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Interprets the first 8 bytes as a big-endian `u64`.
+    ///
+    /// Handy for deriving pseudorandom integers from digests.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("digest has >= 8 bytes"))
+    }
+
+    /// XOR of two digests, byte-wise.
+    pub fn xor(&self, other: &Digest) -> Digest {
+        let mut out = [0u8; DIGEST_LEN];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            *o = a ^ b;
+        }
+        Digest(out)
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use pba_crypto::sha256::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), Sha256::digest(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sha256")
+            .field("total_len", &self.total_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Feeds more data into the hasher.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let block: [u8; BLOCK_LEN] = data[..BLOCK_LEN].try_into().expect("checked length");
+            self.compress(&block);
+            data = &data[BLOCK_LEN..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Completes the hash and returns the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // Bypass total_len bookkeeping; it is already final.
+        let mut remaining = &pad[..pad_len + 8];
+        if self.buf_len > 0 {
+            let take = BLOCK_LEN - self.buf_len;
+            self.buf[self.buf_len..].copy_from_slice(&remaining[..take]);
+            let block = self.buf;
+            self.compress(&block);
+            remaining = &remaining[take..];
+        }
+        while remaining.len() >= BLOCK_LEN {
+            let block: [u8; BLOCK_LEN] = remaining[..BLOCK_LEN].try_into().expect("checked");
+            self.compress(&block);
+            remaining = &remaining[BLOCK_LEN..];
+        }
+        debug_assert!(remaining.is_empty());
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NIST FIPS 180-4 / standard test vectors.
+    const VECTORS: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+
+    #[test]
+    fn nist_vectors() {
+        for (input, expected) in VECTORS {
+            assert_eq!(Sha256::digest(input).to_hex(), *expected);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_at_block_boundaries() {
+        let data: Vec<u8> = (0..257u32).map(|i| i as u8).collect();
+        for split in [0, 1, 55, 56, 63, 64, 65, 127, 128, 200, 256, 257] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn three_way_split_incremental() {
+        let data = vec![0xabu8; 300];
+        let mut h = Sha256::new();
+        h.update(&data[..10]);
+        h.update(&data[10..150]);
+        h.update(&data[150..]);
+        assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        let d = Sha256::digest(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    fn digest_xor_properties() {
+        let a = Sha256::digest(b"a");
+        let b = Sha256::digest(b"b");
+        assert_eq!(a.xor(&b), b.xor(&a));
+        assert_eq!(a.xor(&a), Digest::ZERO);
+        assert_eq!(a.xor(&Digest::ZERO), a);
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let mut bytes = [0u8; 32];
+        bytes[7] = 1;
+        assert_eq!(Digest(bytes).prefix_u64(), 1);
+        bytes[0] = 1;
+        assert_eq!(Digest(bytes).prefix_u64(), (1u64 << 56) | 1);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        // Smoke test, not a collision search.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u32 {
+            assert!(seen.insert(Sha256::digest(&i.to_le_bytes())));
+        }
+    }
+}

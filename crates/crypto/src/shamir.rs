@@ -1,0 +1,170 @@
+//! Shamir secret sharing over `F_p`, used by the committee coin-tossing
+//! functionality `f_ct` (Chor–Goldwasser–Micali–Awerbuch style commit/share
+//! and reveal).
+//!
+//! A `(threshold, n)` sharing hides the secret from any `threshold` shares
+//! and reconstructs from any `threshold + 1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::field::Fp;
+//! use pba_crypto::prg::Prg;
+//! use pba_crypto::shamir::{share, reconstruct};
+//!
+//! let mut prg = Prg::from_seed_bytes(b"rng");
+//! let shares = share(Fp::new(42), 2, 5, &mut prg);
+//! let secret = reconstruct(&shares[1..4]).unwrap();
+//! assert_eq!(secret, Fp::new(42));
+//! ```
+
+use crate::field::Fp;
+use crate::poly::{interpolate_at_zero, Polynomial};
+use crate::prg::Prg;
+use std::fmt;
+
+/// One share: the evaluation point index (1-based) and value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Share {
+    /// 1-based evaluation index (party identity); `x = Fp::new(index)`.
+    pub index: u64,
+    /// Evaluation of the sharing polynomial at `x`.
+    pub value: Fp,
+}
+
+/// Errors from share reconstruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShamirError {
+    /// No shares were provided.
+    Empty,
+    /// Two shares carry the same index.
+    DuplicateIndex(u64),
+}
+
+impl fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShamirError::Empty => f.write_str("no shares provided"),
+            ShamirError::DuplicateIndex(i) => write!(f, "duplicate share index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// Shares `secret` with privacy threshold `threshold` among `n` parties.
+///
+/// Any `threshold + 1` shares reconstruct; any `threshold` reveal nothing.
+///
+/// # Panics
+///
+/// Panics if `threshold >= n` or `n == 0`.
+pub fn share(secret: Fp, threshold: usize, n: usize, prg: &mut Prg) -> Vec<Share> {
+    assert!(n > 0, "need at least one party");
+    assert!(threshold < n, "threshold {threshold} must be < n {n}");
+    let poly = Polynomial::random_with_constant(secret, threshold, prg);
+    (1..=n as u64)
+        .map(|index| Share {
+            index,
+            value: poly.eval(Fp::new(index)),
+        })
+        .collect()
+}
+
+/// Reconstructs the secret from shares (interpolation at zero).
+///
+/// The caller must supply at least `threshold + 1` *correct* shares; with
+/// fewer, the result is wrong (but this function cannot detect that — pair it
+/// with commitments for verifiability, as `f_ct` does).
+///
+/// # Errors
+///
+/// Returns an error if `shares` is empty or contains duplicate indices.
+pub fn reconstruct(shares: &[Share]) -> Result<Fp, ShamirError> {
+    if shares.is_empty() {
+        return Err(ShamirError::Empty);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for s in shares {
+        if !seen.insert(s.index) {
+            return Err(ShamirError::DuplicateIndex(s.index));
+        }
+    }
+    let points: Vec<(Fp, Fp)> = shares.iter().map(|s| (Fp::new(s.index), s.value)).collect();
+    Ok(interpolate_at_zero(&points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_subsets_of_size_t_plus_1() {
+        let mut prg = Prg::from_seed_bytes(b"sh");
+        let shares = share(Fp::new(987654321), 2, 6, &mut prg);
+        // every 3-subset reconstructs
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset = [shares[a], shares[b], shares[c]];
+                    assert_eq!(reconstruct(&subset).unwrap(), Fp::new(987654321));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_shares_insufficient() {
+        let mut prg = Prg::from_seed_bytes(b"priv");
+        let shares = share(Fp::new(5), 3, 7, &mut prg);
+        // 3 shares of a threshold-3 sharing: wrong with overwhelming prob.
+        assert_ne!(reconstruct(&shares[..3]).unwrap(), Fp::new(5));
+    }
+
+    #[test]
+    fn privacy_distribution_smoke() {
+        // A single share of two different secrets should not be biased in a
+        // way a trivial distinguisher notices: compare means over many runs.
+        let mut prg = Prg::from_seed_bytes(b"dist");
+        let mut sum0 = 0f64;
+        let mut sum1 = 0f64;
+        let runs = 300;
+        for _ in 0..runs {
+            let s0 = share(Fp::new(0), 1, 3, &mut prg)[0].value.value() as f64;
+            let s1 = share(Fp::new(1_000_000_000), 1, 3, &mut prg)[0]
+                .value
+                .value() as f64;
+            sum0 += s0;
+            sum1 += s1;
+        }
+        let p = crate::field::MODULUS as f64;
+        let m0 = sum0 / runs as f64 / p;
+        let m1 = sum1 / runs as f64 / p;
+        assert!((m0 - 0.5).abs() < 0.1, "m0={m0}");
+        assert!((m1 - 0.5).abs() < 0.1, "m1={m1}");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(reconstruct(&[]), Err(ShamirError::Empty));
+        let s = Share {
+            index: 1,
+            value: Fp::new(2),
+        };
+        assert_eq!(reconstruct(&[s, s]), Err(ShamirError::DuplicateIndex(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let mut prg = Prg::from_seed_bytes(b"bad");
+        share(Fp::new(1), 5, 5, &mut prg);
+    }
+
+    #[test]
+    fn n_equals_one_threshold_zero() {
+        let mut prg = Prg::from_seed_bytes(b"one");
+        let shares = share(Fp::new(3), 0, 1, &mut prg);
+        assert_eq!(reconstruct(&shares).unwrap(), Fp::new(3));
+    }
+}

@@ -1,0 +1,312 @@
+//! Committed verifiable secret sharing: Shamir shares bound to a Merkle
+//! commitment, the hash-based stand-in for the Feldman/Pedersen VSS that
+//! Chor–Goldwasser–Micali–Awerbuch-style coin tossing assumes.
+//!
+//! The dealer Shamir-shares a secret and publishes the Merkle root over
+//! the *ordered* share list; each recipient gets its share together with
+//! an inclusion proof. Anyone can then check that a claimed share is the
+//! committed one — so during reconstruction, echoed shares are either the
+//! dealer's committed values or rejected, making honest parties' views of
+//! each dealer **identical** (a corrupt echoer cannot substitute values;
+//! it can only withhold).
+//!
+//! What this does *not* prove (and Feldman does): that the committed
+//! shares lie on a degree-`t` polynomial. A corrupt dealer can commit to
+//! inconsistent shares — reconstruction then fails *deterministically and
+//! identically* for every honest party (they decode the same committed
+//! values), which is exactly the exclusion property the coin toss needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_crypto::field::Fp;
+//! use pba_crypto::prg::Prg;
+//! use pba_crypto::vss::CommittedShares;
+//!
+//! let mut prg = Prg::from_seed_bytes(b"dealer");
+//! let dealt = CommittedShares::deal(Fp::new(42), 2, 7, &mut prg);
+//! let packet = dealt.packet(3);
+//! assert!(packet.verify(&dealt.root(), 7));
+//! assert_eq!(packet.share.value, dealt.share(3).value);
+//! ```
+
+use crate::field::Fp;
+use crate::merkle::{MerkleProof, MerkleTree};
+use crate::prg::Prg;
+use crate::reed_solomon::{self, RsError};
+use crate::sha256::Digest;
+use crate::shamir::{self, Share};
+
+fn leaf_bytes(index: u64, value: Fp) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&index.to_le_bytes());
+    buf.extend_from_slice(&value.value().to_le_bytes());
+    buf
+}
+
+/// A dealt, committed sharing: the shares plus their Merkle tree.
+#[derive(Clone, Debug)]
+pub struct CommittedShares {
+    threshold: usize,
+    shares: Vec<Share>,
+    tree: MerkleTree,
+}
+
+impl CommittedShares {
+    /// Deals a `(threshold, n)` committed sharing of `secret`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold >= n` or `n == 0` (as in [`shamir::share`]).
+    pub fn deal(secret: Fp, threshold: usize, n: usize, prg: &mut Prg) -> Self {
+        let shares = shamir::share(secret, threshold, n, prg);
+        let tree = MerkleTree::from_leaves(shares.iter().map(|s| leaf_bytes(s.index, s.value)));
+        CommittedShares {
+            threshold,
+            shares,
+            tree,
+        }
+    }
+
+    /// The public commitment (broadcast by the dealer).
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// The sharing threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The raw share for recipient `position` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn share(&self, position: usize) -> Share {
+        self.shares[position]
+    }
+
+    /// The share packet (share + inclusion proof) for recipient `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn packet(&self, position: usize) -> SharePacket {
+        SharePacket {
+            share: self.shares[position],
+            proof: self.tree.prove(position),
+        }
+    }
+}
+
+/// A share with its commitment proof — what travels on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharePacket {
+    /// The Shamir share (1-based evaluation index).
+    pub share: Share,
+    /// Inclusion proof of `(index, value)` at leaf `index − 1`.
+    pub proof: MerkleProof,
+}
+
+impl SharePacket {
+    /// Verifies the packet against the dealer's commitment for an
+    /// `n`-recipient sharing.
+    pub fn verify(&self, root: &Digest, n: usize) -> bool {
+        self.share.index >= 1
+            && self.share.index <= n as u64
+            && self.proof.leaf_index() == self.share.index - 1
+            && self
+                .proof
+                .verify(root, &leaf_bytes(self.share.index, self.share.value))
+    }
+
+    /// Wire size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        16 + self.proof.encoded_len()
+    }
+}
+
+/// Errors from committed reconstruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VssError {
+    /// Fewer than `threshold + 1` committed shares verified.
+    NotEnoughShares {
+        /// Verified shares available.
+        have: usize,
+        /// Required shares.
+        need: usize,
+    },
+    /// The committed shares are inconsistent (corrupt dealer): they do not
+    /// lie on a single degree-`threshold` polynomial.
+    InconsistentDealer,
+}
+
+impl std::fmt::Display for VssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VssError::NotEnoughShares { have, need } => {
+                write!(f, "only {have} verified shares, need {need}")
+            }
+            VssError::InconsistentDealer => f.write_str("dealer committed inconsistent shares"),
+        }
+    }
+}
+
+impl std::error::Error for VssError {}
+
+/// Reconstructs a committed sharing from verified packets.
+///
+/// `packets` are first filtered against `root`; the survivors are decoded
+/// *without* error correction (committed shares cannot be substituted —
+/// only withheld) and checked for global consistency, so every honest
+/// party reconstructs the same secret or rejects the same dealer.
+///
+/// # Errors
+///
+/// [`VssError::NotEnoughShares`] / [`VssError::InconsistentDealer`].
+pub fn reconstruct_committed(
+    root: &Digest,
+    threshold: usize,
+    n: usize,
+    packets: &[SharePacket],
+) -> Result<Fp, VssError> {
+    let mut verified: Vec<Share> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for p in packets {
+        if p.verify(root, n) && seen.insert(p.share.index) {
+            verified.push(p.share);
+        }
+    }
+    let need = threshold + 1;
+    if verified.len() < need {
+        return Err(VssError::NotEnoughShares {
+            have: verified.len(),
+            need,
+        });
+    }
+    let points: Vec<(Fp, Fp)> = verified
+        .iter()
+        .map(|s| (Fp::new(s.index), s.value))
+        .collect();
+    // No error budget: verified shares are the committed ones. Decoding
+    // with e = 0 both interpolates and checks consistency.
+    match reed_solomon::decode(&points, need, 0) {
+        Ok(poly) => Ok(poly.eval(Fp::ZERO)),
+        Err(RsError::TooManyErrors) => Err(VssError::InconsistentDealer),
+        Err(_) => Err(VssError::InconsistentDealer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deal(secret: u64, t: usize, n: usize) -> CommittedShares {
+        let mut prg = Prg::from_seed_bytes(b"vss-test");
+        CommittedShares::deal(Fp::new(secret), t, n, &mut prg)
+    }
+
+    #[test]
+    fn packets_verify_and_reconstruct() {
+        let dealt = deal(777, 2, 7);
+        let packets: Vec<SharePacket> = (0..7).map(|i| dealt.packet(i)).collect();
+        for p in &packets {
+            assert!(p.verify(&dealt.root(), 7));
+        }
+        let secret = reconstruct_committed(&dealt.root(), 2, 7, &packets).unwrap();
+        assert_eq!(secret, Fp::new(777));
+    }
+
+    #[test]
+    fn reconstruct_from_exactly_threshold_plus_one() {
+        let dealt = deal(5, 3, 10);
+        let packets: Vec<SharePacket> = (0..4).map(|i| dealt.packet(i)).collect();
+        assert_eq!(
+            reconstruct_committed(&dealt.root(), 3, 10, &packets).unwrap(),
+            Fp::new(5)
+        );
+    }
+
+    #[test]
+    fn substituted_share_rejected_by_commitment() {
+        let dealt = deal(5, 2, 7);
+        let mut bad = dealt.packet(0);
+        bad.share.value = Fp::new(999);
+        assert!(!bad.verify(&dealt.root(), 7));
+        // Reconstruction ignores it; with only 2 other packets we are short.
+        let packets = vec![bad, dealt.packet(1), dealt.packet(2)];
+        assert_eq!(
+            reconstruct_committed(&dealt.root(), 2, 7, &packets),
+            Err(VssError::NotEnoughShares { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn cross_dealer_packets_rejected() {
+        let a = deal(1, 2, 7);
+        let mut prg = Prg::from_seed_bytes(b"other-dealer");
+        let b = CommittedShares::deal(Fp::new(2), 2, 7, &mut prg);
+        assert!(!b.packet(0).verify(&a.root(), 7));
+    }
+
+    #[test]
+    fn wrong_position_rejected() {
+        let dealt = deal(5, 2, 7);
+        let mut p = dealt.packet(3);
+        p.share.index = 5; // claims a different evaluation point
+        assert!(!p.verify(&dealt.root(), 7));
+    }
+
+    #[test]
+    fn inconsistent_dealer_detected_identically() {
+        // A corrupt dealer commits to shares NOT on a degree-t polynomial:
+        // every honest party must reject it, and reject it the same way.
+        let mut prg = Prg::from_seed_bytes(b"bad-dealer");
+        let mut shares = shamir::share(Fp::new(9), 2, 7, &mut prg);
+        shares[6].value = Fp::new(123456); // breaks consistency
+        let tree = MerkleTree::from_leaves(shares.iter().map(|s| leaf_bytes(s.index, s.value)));
+        let packets: Vec<SharePacket> = (0..7)
+            .map(|i| SharePacket {
+                share: shares[i],
+                proof: tree.prove(i),
+            })
+            .collect();
+        // All packets verify (the dealer committed to them)...
+        for p in &packets {
+            assert!(p.verify(&tree.root(), 7));
+        }
+        // ...but reconstruction flags the dealer.
+        assert_eq!(
+            reconstruct_committed(&tree.root(), 2, 7, &packets),
+            Err(VssError::InconsistentDealer)
+        );
+        // Any honest subset containing the bad point agrees on the verdict;
+        // subsets avoiding it reconstruct the committed polynomial — which
+        // is fine: those parties hold a consistent view of the commitment.
+        let subset: Vec<SharePacket> = packets[..4].to_vec();
+        assert_eq!(
+            reconstruct_committed(&tree.root(), 2, 7, &subset).unwrap(),
+            Fp::new(9)
+        );
+    }
+
+    #[test]
+    fn duplicate_packets_counted_once() {
+        let dealt = deal(5, 2, 7);
+        let p = dealt.packet(0);
+        let packets = vec![p.clone(), p.clone(), p];
+        assert_eq!(
+            reconstruct_committed(&dealt.root(), 2, 7, &packets),
+            Err(VssError::NotEnoughShares { have: 1, need: 3 })
+        );
+    }
+
+    #[test]
+    fn packet_size_is_logarithmic() {
+        let small = deal(1, 2, 8).packet(0).encoded_len();
+        let large = deal(1, 2, 64).packet(0).encoded_len();
+        // 8x the recipients adds 3 Merkle levels = 96 bytes.
+        assert_eq!(large - small, 96);
+    }
+}

@@ -1,0 +1,120 @@
+//! Corruption-set sampling for experiments.
+//!
+//! The paper's adversary corrupts adaptively *during setup* (after seeing
+//! public keys and setup information) and is static afterwards. The samplers
+//! here produce the corrupt set; protocol-specific "adaptive after setup"
+//! choices are made by the experiment harnesses, which may call these with
+//! setup-derived information.
+
+use crate::envelope::PartyId;
+use pba_crypto::prg::Prg;
+use std::collections::BTreeSet;
+
+/// How the experiment picks the corrupted set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorruptionPlan {
+    /// No corruptions.
+    None,
+    /// `t` parties chosen uniformly at random.
+    Random {
+        /// Number of parties to corrupt.
+        t: usize,
+    },
+    /// An explicit set (e.g., chosen adaptively from setup information).
+    Explicit(BTreeSet<PartyId>),
+    /// The first `t` parties — a structured placement that stresses
+    /// index-range logic (contiguous virtual IDs land in the same leaves).
+    Prefix {
+        /// Number of parties to corrupt.
+        t: usize,
+    },
+}
+
+impl CorruptionPlan {
+    /// Materializes the corrupt set for `n` parties using `prg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan requests more corruptions than parties.
+    pub fn materialize(&self, n: usize, prg: &mut Prg) -> BTreeSet<PartyId> {
+        match self {
+            CorruptionPlan::None => BTreeSet::new(),
+            CorruptionPlan::Random { t } => {
+                assert!(*t <= n, "cannot corrupt {t} of {n}");
+                prg.sample_distinct(n as u64, *t)
+                    .into_iter()
+                    .map(PartyId)
+                    .collect()
+            }
+            CorruptionPlan::Explicit(set) => {
+                assert!(set.iter().all(|p| p.index() < n), "corrupt id out of range");
+                set.clone()
+            }
+            CorruptionPlan::Prefix { t } => {
+                assert!(*t <= n, "cannot corrupt {t} of {n}");
+                (0..*t as u64).map(PartyId).collect()
+            }
+        }
+    }
+}
+
+/// Largest corruption count strictly below `beta * n`.
+///
+/// The paper works with resilience `βn` for constant `β < 1/3`; experiments
+/// call this with e.g. `beta = 0.33` or `0.25`.
+pub fn max_corruptions(n: usize, beta: f64) -> usize {
+    assert!((0.0..1.0).contains(&beta), "beta must be in [0,1)");
+    let bound = (beta * n as f64).floor() as usize;
+    bound.min(n.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plan_size_and_range() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let set = CorruptionPlan::Random { t: 10 }.materialize(100, &mut prg);
+        assert_eq!(set.len(), 10);
+        assert!(set.iter().all(|p| p.index() < 100));
+    }
+
+    #[test]
+    fn prefix_plan() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let set = CorruptionPlan::Prefix { t: 3 }.materialize(10, &mut prg);
+        assert_eq!(set, [PartyId(0), PartyId(1), PartyId(2)].into());
+    }
+
+    #[test]
+    fn none_plan_empty() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        assert!(CorruptionPlan::None.materialize(5, &mut prg).is_empty());
+    }
+
+    #[test]
+    fn explicit_plan_passthrough() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let set: BTreeSet<PartyId> = [PartyId(7)].into();
+        assert_eq!(
+            CorruptionPlan::Explicit(set.clone()).materialize(10, &mut prg),
+            set
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_panics() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        CorruptionPlan::Explicit([PartyId(10)].into()).materialize(10, &mut prg);
+    }
+
+    #[test]
+    fn max_corruptions_below_third() {
+        assert_eq!(max_corruptions(9, 1.0 / 3.0), 3);
+        assert_eq!(max_corruptions(10, 0.25), 2);
+        assert_eq!(max_corruptions(1, 0.99), 0);
+        assert_eq!(max_corruptions(100, 0.33), 33);
+    }
+}

@@ -1,0 +1,120 @@
+//! Party identities and message envelopes.
+
+use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
+use std::fmt;
+
+/// A party identity: an index in `[0, n)`.
+///
+/// The paper indexes parties `P_1 … P_n`; we use zero-based indices
+/// internally and render them one-based in display output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartyId(pub u64);
+
+impl PartyId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl From<u64> for PartyId {
+    fn from(v: u64) -> Self {
+        PartyId(v)
+    }
+}
+
+impl From<usize> for PartyId {
+    fn from(v: usize) -> Self {
+        PartyId(v as u64)
+    }
+}
+
+impl Encode for PartyId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for PartyId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PartyId(u64::decode(r)?))
+    }
+}
+
+/// A point-to-point message in flight: sender, receiver, and the encoded
+/// payload bytes that are charged against communication budgets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending party (as claimed by the network layer; channels are
+    /// authenticated, so honest receivers may trust it).
+    pub from: PartyId,
+    /// Receiving party.
+    pub to: PartyId,
+    /// Encoded message body.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(from: PartyId, to: PartyId, payload: Vec<u8>) -> Self {
+        Envelope { from, to, payload }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_crypto::codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn party_id_display_is_one_based() {
+        assert_eq!(format!("{}", PartyId(0)), "P1");
+        assert_eq!(format!("{:?}", PartyId(41)), "P42");
+    }
+
+    #[test]
+    fn party_id_codec_roundtrip() {
+        let id = PartyId(123);
+        let bytes = encode_to_vec(&id);
+        assert_eq!(decode_from_slice::<PartyId>(&bytes).unwrap(), id);
+        assert_eq!(bytes.len(), id.encoded_len());
+    }
+
+    #[test]
+    fn envelope_len() {
+        let e = Envelope::new(PartyId(0), PartyId(1), vec![1, 2, 3]);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(PartyId::from(3usize), PartyId(3));
+        assert_eq!(PartyId::from(3u64).index(), 3);
+    }
+}

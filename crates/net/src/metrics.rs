@@ -1,0 +1,236 @@
+//! Exact per-party communication accounting.
+//!
+//! Communication complexity is the quantity the paper optimizes, so the
+//! simulator meters every envelope: bytes and messages, sent and received,
+//! plus *locality* (the number of distinct parties each party exchanges
+//! messages with — the degree of the effective communication graph).
+//!
+//! [`MetricsTable::report`] aggregates into the columns of Table 1:
+//! max-per-party communication, totals, and maximum locality.
+
+use crate::envelope::PartyId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Communication counters for a single party.
+#[derive(Clone, Debug, Default)]
+pub struct PartyMetrics {
+    /// Bytes of payload sent.
+    pub bytes_sent: u64,
+    /// Bytes of payload received *and processed* (after filtering).
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received and processed.
+    pub msgs_received: u64,
+    /// Distinct peers this party sent to.
+    pub peers_out: BTreeSet<PartyId>,
+    /// Distinct peers this party processed messages from.
+    pub peers_in: BTreeSet<PartyId>,
+}
+
+impl PartyMetrics {
+    /// Total bytes communicated (sent + received).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Locality: distinct peers in either direction.
+    pub fn locality(&self) -> usize {
+        self.peers_out.union(&self.peers_in).count()
+    }
+}
+
+/// Metrics for all parties in one protocol execution.
+#[derive(Clone, Debug)]
+pub struct MetricsTable {
+    parties: Vec<PartyMetrics>,
+    rounds: u64,
+}
+
+impl MetricsTable {
+    /// Creates a table for `n` parties.
+    pub fn new(n: usize) -> Self {
+        MetricsTable {
+            parties: vec![PartyMetrics::default(); n],
+            rounds: 0,
+        }
+    }
+
+    /// Number of parties.
+    pub fn len(&self) -> usize {
+        self.parties.len()
+    }
+
+    /// True if the table tracks no parties.
+    pub fn is_empty(&self) -> bool {
+        self.parties.is_empty()
+    }
+
+    /// Per-party metrics.
+    pub fn party(&self, id: PartyId) -> &PartyMetrics {
+        &self.parties[id.index()]
+    }
+
+    /// Records a sent envelope.
+    pub fn record_send(&mut self, from: PartyId, to: PartyId, bytes: usize) {
+        let m = &mut self.parties[from.index()];
+        m.bytes_sent += bytes as u64;
+        m.msgs_sent += 1;
+        m.peers_out.insert(to);
+    }
+
+    /// Records a received-and-processed envelope.
+    pub fn record_receive(&mut self, to: PartyId, from: PartyId, bytes: usize) {
+        let m = &mut self.parties[to.index()];
+        m.bytes_received += bytes as u64;
+        m.msgs_received += 1;
+        m.peers_in.insert(from);
+    }
+
+    /// Charges synthetic communication to a party — used when a
+    /// sub-functionality is costed analytically rather than executed
+    /// message-by-message (see DESIGN.md §2, substitution 5).
+    pub fn charge_synthetic(&mut self, party: PartyId, bytes: u64, msgs: u64) {
+        let m = &mut self.parties[party.index()];
+        m.bytes_sent += bytes;
+        m.msgs_sent += msgs;
+    }
+
+    /// Advances the round counter.
+    pub fn bump_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Rounds elapsed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Aggregated report over a set of parties (typically the honest ones —
+    /// the adversary may inflate its own counters arbitrarily).
+    pub fn report_for<I: IntoIterator<Item = PartyId>>(&self, ids: I) -> Report {
+        let mut report = Report {
+            rounds: self.rounds,
+            ..Report::default()
+        };
+        let mut count = 0u64;
+        for id in ids {
+            let m = &self.parties[id.index()];
+            let total = m.bytes_total();
+            report.max_bytes_per_party = report.max_bytes_per_party.max(total);
+            report.max_bytes_sent = report.max_bytes_sent.max(m.bytes_sent);
+            report.total_bytes += m.bytes_sent;
+            report.total_msgs += m.msgs_sent;
+            report.max_msgs_per_party =
+                report.max_msgs_per_party.max(m.msgs_sent + m.msgs_received);
+            report.max_locality = report.max_locality.max(m.locality() as u64);
+            count += 1;
+        }
+        report.parties = count;
+        report
+    }
+
+    /// Aggregated report over all parties.
+    pub fn report(&self) -> Report {
+        self.report_for((0..self.parties.len()).map(PartyId::from))
+    }
+}
+
+/// Aggregate communication statistics for one execution — the measured
+/// analogues of Table 1's columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Parties included in the aggregation.
+    pub parties: u64,
+    /// Maximum over parties of (bytes sent + bytes received).
+    pub max_bytes_per_party: u64,
+    /// Maximum over parties of bytes sent.
+    pub max_bytes_sent: u64,
+    /// Sum over parties of bytes sent (= total network traffic).
+    pub total_bytes: u64,
+    /// Sum over parties of messages sent.
+    pub total_msgs: u64,
+    /// Maximum over parties of messages sent + received.
+    pub max_msgs_per_party: u64,
+    /// Maximum communication-graph degree over parties.
+    pub max_locality: u64,
+    /// Synchronous rounds elapsed.
+    pub rounds: u64,
+}
+
+impl Report {
+    /// Maximum bits per party — the paper's headline measure.
+    pub fn max_bits_per_party(&self) -> u64 {
+        self.max_bytes_per_party * 8
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parties={} rounds={} max_bytes/party={} total_bytes={} max_msgs/party={} max_locality={}",
+            self.parties,
+            self.rounds,
+            self.max_bytes_per_party,
+            self.total_bytes,
+            self.max_msgs_per_party,
+            self.max_locality
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_report() {
+        let mut t = MetricsTable::new(3);
+        t.record_send(PartyId(0), PartyId(1), 100);
+        t.record_receive(PartyId(1), PartyId(0), 100);
+        t.record_send(PartyId(0), PartyId(2), 50);
+        t.record_receive(PartyId(2), PartyId(0), 50);
+        t.bump_round();
+
+        assert_eq!(t.party(PartyId(0)).bytes_sent, 150);
+        assert_eq!(t.party(PartyId(0)).locality(), 2);
+        assert_eq!(t.party(PartyId(1)).bytes_received, 100);
+        assert_eq!(t.party(PartyId(1)).locality(), 1);
+
+        let r = t.report();
+        assert_eq!(r.parties, 3);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.max_bytes_per_party, 150);
+        assert_eq!(r.total_bytes, 150);
+        assert_eq!(r.max_locality, 2);
+        assert_eq!(r.max_bits_per_party(), 1200);
+    }
+
+    #[test]
+    fn report_for_subset_excludes_others() {
+        let mut t = MetricsTable::new(3);
+        t.record_send(PartyId(0), PartyId(1), 1000);
+        t.record_send(PartyId(2), PartyId(1), 5);
+        let r = t.report_for([PartyId(2)]);
+        assert_eq!(r.parties, 1);
+        assert_eq!(r.max_bytes_per_party, 5);
+    }
+
+    #[test]
+    fn synthetic_charge() {
+        let mut t = MetricsTable::new(1);
+        t.charge_synthetic(PartyId(0), 42, 3);
+        assert_eq!(t.party(PartyId(0)).bytes_sent, 42);
+        assert_eq!(t.party(PartyId(0)).msgs_sent, 3);
+    }
+
+    #[test]
+    fn locality_counts_union_not_sum() {
+        let mut t = MetricsTable::new(2);
+        t.record_send(PartyId(0), PartyId(1), 1);
+        t.record_receive(PartyId(0), PartyId(1), 1);
+        assert_eq!(t.party(PartyId(0)).locality(), 1);
+    }
+}

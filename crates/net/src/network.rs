@@ -1,0 +1,221 @@
+//! The synchronous network: staged envelopes, round delivery, and the
+//! per-party sending/receiving context with exact accounting.
+//!
+//! Model (standard synchronous point-to-point network with authenticated
+//! channels, as in the paper):
+//!
+//! * messages sent in round `r` are delivered at the beginning of round
+//!   `r + 1`;
+//! * channels are authenticated — the `from` field of an [`Envelope`] is
+//!   trustworthy for honest receivers;
+//! * receivers perform **dynamic message filtering**: a message costs its
+//!   receiver communication only when the receiver *processes* it (reads the
+//!   payload via [`Ctx::read`]); filtered messages are dropped for free, as
+//!   in the message-filtering model the paper builds on.
+
+use crate::envelope::{Envelope, PartyId};
+use crate::metrics::{MetricsTable, Report};
+use pba_crypto::codec::{decode_from_slice, Decode, Encode};
+
+/// The simulated synchronous network for one protocol execution.
+#[derive(Debug)]
+pub struct Network {
+    n: usize,
+    metrics: MetricsTable,
+    /// Envelopes sent this round, delivered next round.
+    staged: Vec<Envelope>,
+}
+
+impl Network {
+    /// Creates a network for `n` parties.
+    pub fn new(n: usize) -> Self {
+        Network {
+            n,
+            metrics: MetricsTable::new(n),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Number of parties.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the network has no parties.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Read access to the metrics table.
+    pub fn metrics(&self) -> &MetricsTable {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics table (for synthetic charges).
+    pub fn metrics_mut(&mut self) -> &mut MetricsTable {
+        &mut self.metrics
+    }
+
+    /// Aggregate report over all parties.
+    pub fn report(&self) -> Report {
+        self.metrics.report()
+    }
+
+    /// Stages an envelope for next-round delivery, charging the sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn stage(&mut self, env: Envelope) {
+        assert!(
+            env.from.index() < self.n,
+            "sender {} out of range",
+            env.from
+        );
+        assert!(env.to.index() < self.n, "receiver {} out of range", env.to);
+        self.metrics.record_send(env.from, env.to, env.len());
+        self.staged.push(env);
+    }
+
+    /// Takes all staged envelopes (the runner calls this at round boundary).
+    pub fn take_staged(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.staged)
+    }
+
+    /// Re-stages an envelope whose send was already charged — used by the
+    /// runner to peek at staged traffic (rushing) without double counting.
+    pub(crate) fn restage(&mut self, env: Envelope) {
+        self.staged.push(env);
+    }
+
+    /// Advances the round counter.
+    pub fn bump_round(&mut self) {
+        self.metrics.bump_round();
+    }
+
+    /// Creates the per-party context for sending/receiving in a round.
+    pub fn ctx(&mut self, id: PartyId, round: u64) -> Ctx<'_> {
+        Ctx {
+            id,
+            round,
+            net: self,
+        }
+    }
+}
+
+/// Per-party, per-round API handed to protocol machines.
+///
+/// All communication flows through this context so that accounting is exact:
+/// [`Ctx::send`] charges the sender; [`Ctx::read`] charges the receiver.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    id: PartyId,
+    round: u64,
+    net: &'a mut Network,
+}
+
+impl Ctx<'_> {
+    /// The party this context belongs to.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The current round (within the running phase).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of parties on the network.
+    pub fn n(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Sends an encodable message to `to`, charged to this party.
+    pub fn send<T: Encode + ?Sized>(&mut self, to: PartyId, msg: &T) {
+        let payload = pba_crypto::codec::encode_to_vec(msg);
+        self.send_raw(to, payload);
+    }
+
+    /// Sends raw payload bytes to `to`.
+    pub fn send_raw(&mut self, to: PartyId, payload: Vec<u8>) {
+        self.net.stage(Envelope::new(self.id, to, payload));
+    }
+
+    /// Processes an incoming envelope: charges this party for receiving it
+    /// and decodes the payload.
+    ///
+    /// Returns `None` when decoding fails (the bytes were still paid for —
+    /// the party had to read the message to discover it was garbage).
+    pub fn read<T: Decode>(&mut self, env: &Envelope) -> Option<T> {
+        self.charge_receive(env);
+        decode_from_slice(&env.payload).ok()
+    }
+
+    /// Charges this party for processing `env` without decoding.
+    pub fn charge_receive(&mut self, env: &Envelope) {
+        debug_assert_eq!(env.to, self.id, "processing someone else's mail");
+        self.net
+            .metrics
+            .record_receive(self.id, env.from, env.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_take() {
+        let mut net = Network::new(2);
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![1, 2, 3]));
+        assert_eq!(net.metrics().party(PartyId(0)).bytes_sent, 3);
+        let staged = net.take_staged();
+        assert_eq!(staged.len(), 1);
+        assert!(net.take_staged().is_empty());
+    }
+
+    #[test]
+    fn ctx_send_and_read_charges_both_sides() {
+        let mut net = Network::new(2);
+        {
+            let mut ctx = net.ctx(PartyId(0), 0);
+            ctx.send(PartyId(1), &42u64);
+        }
+        let envs = net.take_staged();
+        {
+            let mut ctx = net.ctx(PartyId(1), 1);
+            let v: u64 = ctx.read(&envs[0]).unwrap();
+            assert_eq!(v, 42);
+        }
+        assert_eq!(net.metrics().party(PartyId(0)).bytes_sent, 8);
+        assert_eq!(net.metrics().party(PartyId(1)).bytes_received, 8);
+    }
+
+    #[test]
+    fn unprocessed_messages_are_free_for_receiver() {
+        let mut net = Network::new(2);
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![0u8; 1000]));
+        let _ = net.take_staged(); // receiver filters it out, never reads
+        assert_eq!(net.metrics().party(PartyId(1)).bytes_received, 0);
+        assert_eq!(net.metrics().party(PartyId(0)).bytes_sent, 1000);
+    }
+
+    #[test]
+    fn malformed_payload_read_returns_none_but_charges() {
+        let mut net = Network::new(2);
+        let env = Envelope::new(PartyId(0), PartyId(1), vec![9]);
+        net.stage(env.clone());
+        net.take_staged();
+        let mut ctx = net.ctx(PartyId(1), 0);
+        assert_eq!(ctx.read::<u64>(&env), None);
+        let _ = ctx;
+        assert_eq!(net.metrics().party(PartyId(1)).bytes_received, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_receiver_panics() {
+        let mut net = Network::new(1);
+        net.stage(Envelope::new(PartyId(0), PartyId(5), vec![]));
+    }
+}

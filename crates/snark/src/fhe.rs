@@ -1,0 +1,412 @@
+//! A **simulated** threshold fully homomorphic encryption scheme, for
+//! reproducing the MPC corollary (Cor. 1.2(2)): the paper obtains
+//! communication-efficient MPC from its BA protocol *assuming FHE*.
+//!
+//! Like the SNARK simulation (DESIGN.md §2), this preserves the interface
+//! and the *sizes* the corollary's communication analysis depends on, not
+//! cryptographic hardness against a setup-holder:
+//!
+//! * ciphertexts are `payload ⊕ PRG(trapdoor, nonce)` plus a MAC —
+//!   `|m| + O(κ)` bytes, hiding plaintexts from everything but the
+//!   [`FheSystem`] (no party type in this workspace reads the trapdoor);
+//! * [`FheSystem::eval`] applies an arbitrary public function to
+//!   ciphertexts — the simulation decrypts internally, applies the
+//!   function, and re-encrypts, which is exactly the black-box behaviour
+//!   honest protocol code may assume of real FHE;
+//! * decryption is **threshold**: `eval`/`encrypt` are public-key
+//!   operations, but recovering a plaintext requires `threshold` distinct
+//!   key-holders' [`DecryptionShare`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_snark::fhe::FheSystem;
+//!
+//! let fhe = FheSystem::setup(b"randomness", 5, 3);
+//! let ct = fhe.encrypt(b"secret input");
+//! let doubled = fhe.eval(&[ct], |inputs| {
+//!     let mut out = inputs[0].clone();
+//!     out.extend_from_slice(&inputs[0]);
+//!     out
+//! });
+//! let shares: Vec<_> = (0..3)
+//!     .map(|i| fhe.partial_decrypt(i, &doubled).unwrap())
+//!     .collect::<Vec<_>>();
+//! assert_eq!(fhe.combine(&doubled, &shares).unwrap(), b"secret inputsecret input");
+//! ```
+
+use pba_crypto::hmac::hmac_sha256;
+use pba_crypto::prg::Prg;
+use pba_crypto::sha256::{Digest, Sha256};
+use std::fmt;
+
+/// A simulated FHE ciphertext: masked payload, nonce, and integrity tag.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    nonce: Digest,
+    masked: Vec<u8>,
+    tag: Digest,
+}
+
+impl fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ciphertext")
+            .field("len", &self.masked.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ciphertext {
+    /// Wire size in bytes: payload + nonce + tag.
+    pub fn encoded_len(&self) -> usize {
+        self.masked.len() + 64
+    }
+}
+
+/// One key-holder's decryption share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecryptionShare {
+    holder: usize,
+    ct_digest: Digest,
+    share: Digest,
+}
+
+impl DecryptionShare {
+    /// Wire size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        8 + 64
+    }
+}
+
+/// Errors from threshold decryption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FheError {
+    /// The key-holder index is out of range.
+    NoSuchHolder(usize),
+    /// A share failed validation or belongs to a different ciphertext.
+    InvalidShare,
+    /// Fewer than `threshold` distinct valid shares.
+    BelowThreshold {
+        /// Valid distinct shares seen.
+        have: usize,
+        /// Shares required.
+        need: usize,
+    },
+    /// The ciphertext integrity tag failed.
+    BadCiphertext,
+}
+
+impl fmt::Display for FheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FheError::NoSuchHolder(i) => write!(f, "no key holder {i}"),
+            FheError::InvalidShare => f.write_str("invalid decryption share"),
+            FheError::BelowThreshold { have, need } => {
+                write!(f, "{have} valid shares, need {need}")
+            }
+            FheError::BadCiphertext => f.write_str("ciphertext integrity check failed"),
+        }
+    }
+}
+
+impl std::error::Error for FheError {}
+
+/// The simulated threshold-FHE system.
+///
+/// `holders` key shares were dealt at setup; `threshold` of them must
+/// cooperate to decrypt. The master trapdoor lives only inside this struct
+/// (private fields, `Debug` redacts).
+#[derive(Clone)]
+pub struct FheSystem {
+    trapdoor: Digest,
+    holders: usize,
+    threshold: usize,
+}
+
+impl fmt::Debug for FheSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FheSystem")
+            .field("holders", &self.holders)
+            .field("threshold", &self.threshold)
+            .field("trapdoor", &"<redacted>")
+            .finish()
+    }
+}
+
+impl FheSystem {
+    /// Trusted setup: derives the key material from `randomness` and deals
+    /// shares to `holders` parties with the given decryption `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` or `threshold > holders`.
+    pub fn setup(randomness: &[u8], holders: usize, threshold: usize) -> Self {
+        assert!(threshold >= 1 && threshold <= holders, "bad threshold");
+        let mut h = Sha256::new();
+        h.update(b"pba-fhe-trapdoor");
+        h.update(randomness);
+        FheSystem {
+            trapdoor: h.finalize(),
+            holders,
+            threshold,
+        }
+    }
+
+    /// Number of key holders.
+    pub fn holders(&self) -> usize {
+        self.holders
+    }
+
+    /// Decryption threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    fn keystream(&self, nonce: &Digest, len: usize) -> Vec<u8> {
+        let mut prg = Prg::from_seed_label(
+            &[self.trapdoor.as_bytes(), nonce.as_bytes()].concat(),
+            "fhe-mask",
+        );
+        let mut out = vec![0u8; len];
+        rand::RngCore::fill_bytes(&mut prg, &mut out);
+        out
+    }
+
+    fn tag(&self, nonce: &Digest, masked: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(nonce.as_bytes());
+        h.update(masked);
+        hmac_sha256(self.trapdoor.as_bytes(), h.finalize().as_bytes())
+    }
+
+    fn encrypt_with_nonce(&self, nonce: Digest, plaintext: &[u8]) -> Ciphertext {
+        let mask = self.keystream(&nonce, plaintext.len());
+        let masked: Vec<u8> = plaintext.iter().zip(mask).map(|(p, m)| p ^ m).collect();
+        let tag = self.tag(&nonce, &masked);
+        Ciphertext { nonce, masked, tag }
+    }
+
+    /// Public-key encryption of `plaintext`.
+    pub fn encrypt(&self, plaintext: &[u8]) -> Ciphertext {
+        // Nonce derived from the plaintext and a counter-free domain: in the
+        // simulation, uniqueness matters, secrecy of derivation does not.
+        let mut h = Sha256::new();
+        h.update(b"pba-fhe-nonce");
+        h.update(self.trapdoor.as_bytes());
+        h.update(&(plaintext.len() as u64).to_le_bytes());
+        h.update(plaintext);
+        self.encrypt_with_nonce(h.finalize(), plaintext)
+    }
+
+    /// Publicly checks a ciphertext's integrity tag (honest evaluators
+    /// filter adversarial inputs with this before [`FheSystem::eval`]).
+    pub fn validate(&self, ct: &Ciphertext) -> bool {
+        self.tag(&ct.nonce, &ct.masked) == ct.tag
+    }
+
+    fn decrypt_internal(&self, ct: &Ciphertext) -> Result<Vec<u8>, FheError> {
+        if self.tag(&ct.nonce, &ct.masked) != ct.tag {
+            return Err(FheError::BadCiphertext);
+        }
+        let mask = self.keystream(&ct.nonce, ct.masked.len());
+        Ok(ct.masked.iter().zip(mask).map(|(c, m)| c ^ m).collect())
+    }
+
+    /// Homomorphic evaluation: applies the public function `f` to the
+    /// plaintexts under `inputs`, producing a fresh ciphertext of the
+    /// result. Callers never see the plaintexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input ciphertext fails its integrity check (honest
+    /// evaluators validate inputs before evaluating).
+    pub fn eval<F>(&self, inputs: &[Ciphertext], f: F) -> Ciphertext
+    where
+        F: FnOnce(&[Vec<u8>]) -> Vec<u8>,
+    {
+        let plains: Vec<Vec<u8>> = inputs
+            .iter()
+            .map(|ct| self.decrypt_internal(ct).expect("invalid input ciphertext"))
+            .collect();
+        let out = f(&plains);
+        // Fresh nonce bound to the inputs (deterministic evaluation).
+        let mut h = Sha256::new();
+        h.update(b"pba-fhe-eval");
+        for ct in inputs {
+            h.update(ct.tag.as_bytes());
+        }
+        h.update(&(out.len() as u64).to_le_bytes());
+        self.encrypt_with_nonce(h.finalize(), &out)
+    }
+
+    /// Key-holder `holder`'s partial decryption of `ct`.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::NoSuchHolder`] / [`FheError::BadCiphertext`].
+    pub fn partial_decrypt(
+        &self,
+        holder: usize,
+        ct: &Ciphertext,
+    ) -> Result<DecryptionShare, FheError> {
+        if holder >= self.holders {
+            return Err(FheError::NoSuchHolder(holder));
+        }
+        if self.tag(&ct.nonce, &ct.masked) != ct.tag {
+            return Err(FheError::BadCiphertext);
+        }
+        let ct_digest = ct.tag;
+        let mut h = Sha256::new();
+        h.update(b"pba-fhe-share");
+        h.update(&(holder as u64).to_le_bytes());
+        h.update(ct_digest.as_bytes());
+        Ok(DecryptionShare {
+            holder,
+            ct_digest,
+            share: hmac_sha256(self.trapdoor.as_bytes(), h.finalize().as_bytes()),
+        })
+    }
+
+    /// Combines `threshold` distinct valid shares into the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidShare`] on any bad share,
+    /// [`FheError::BelowThreshold`] with too few distinct holders,
+    /// [`FheError::BadCiphertext`] on integrity failure.
+    pub fn combine(
+        &self,
+        ct: &Ciphertext,
+        shares: &[DecryptionShare],
+    ) -> Result<Vec<u8>, FheError> {
+        let mut holders = std::collections::BTreeSet::new();
+        for s in shares {
+            if s.ct_digest != ct.tag {
+                return Err(FheError::InvalidShare);
+            }
+            let expected = self.partial_decrypt(s.holder, ct)?;
+            if expected.share != s.share {
+                return Err(FheError::InvalidShare);
+            }
+            holders.insert(s.holder);
+        }
+        if holders.len() < self.threshold {
+            return Err(FheError::BelowThreshold {
+                have: holders.len(),
+                need: self.threshold,
+            });
+        }
+        self.decrypt_internal(ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fhe() -> FheSystem {
+        FheSystem::setup(b"test-fhe", 7, 3)
+    }
+
+    fn decrypt(fhe: &FheSystem, ct: &Ciphertext) -> Vec<u8> {
+        let shares: Vec<_> = (0..3)
+            .map(|i| fhe.partial_decrypt(i, ct).unwrap())
+            .collect();
+        fhe.combine(ct, &shares).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let fhe = fhe();
+        let ct = fhe.encrypt(b"hello mpc");
+        assert_eq!(decrypt(&fhe, &ct), b"hello mpc");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let fhe = fhe();
+        let ct = fhe.encrypt(b"secret-value-xyz");
+        // The masked payload must not contain the plaintext.
+        assert!(!ct.masked.windows(6).any(|w| w == b"secret"));
+    }
+
+    #[test]
+    fn eval_applies_function_under_encryption() {
+        let fhe = fhe();
+        let a = fhe.encrypt(&[1, 2, 3]);
+        let b = fhe.encrypt(&[10, 20, 30]);
+        let sum = fhe.eval(&[a, b], |ins| {
+            ins[0].iter().zip(&ins[1]).map(|(x, y)| x + y).collect()
+        });
+        assert_eq!(decrypt(&fhe, &sum), vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let fhe = fhe();
+        let ct = fhe.encrypt(b"x");
+        let shares: Vec<_> = (0..2)
+            .map(|i| fhe.partial_decrypt(i, &ct).unwrap())
+            .collect();
+        assert_eq!(
+            fhe.combine(&ct, &shares),
+            Err(FheError::BelowThreshold { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn duplicate_holders_do_not_count_twice() {
+        let fhe = fhe();
+        let ct = fhe.encrypt(b"x");
+        let s0 = fhe.partial_decrypt(0, &ct).unwrap();
+        let shares = vec![s0.clone(), s0.clone(), s0];
+        assert!(matches!(
+            fhe.combine(&ct, &shares),
+            Err(FheError::BelowThreshold { have: 1, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn forged_share_rejected() {
+        let fhe = fhe();
+        let ct = fhe.encrypt(b"x");
+        let mut s = fhe.partial_decrypt(0, &ct).unwrap();
+        s.share = Digest::ZERO;
+        assert_eq!(fhe.combine(&ct, &[s]), Err(FheError::InvalidShare));
+    }
+
+    #[test]
+    fn share_bound_to_ciphertext() {
+        let fhe = fhe();
+        let ct1 = fhe.encrypt(b"one");
+        let ct2 = fhe.encrypt(b"two");
+        let shares: Vec<_> = (0..3)
+            .map(|i| fhe.partial_decrypt(i, &ct1).unwrap())
+            .collect();
+        assert_eq!(fhe.combine(&ct2, &shares), Err(FheError::InvalidShare));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let fhe = fhe();
+        let mut ct = fhe.encrypt(b"payload");
+        ct.masked[0] ^= 1;
+        assert_eq!(fhe.partial_decrypt(0, &ct), Err(FheError::BadCiphertext));
+    }
+
+    #[test]
+    fn ciphertext_size_is_payload_plus_constant() {
+        let fhe = fhe();
+        for len in [0usize, 10, 1000] {
+            let ct = fhe.encrypt(&vec![7u8; len]);
+            assert_eq!(ct.encoded_len(), len + 64);
+        }
+    }
+
+    #[test]
+    fn out_of_range_holder() {
+        let fhe = fhe();
+        let ct = fhe.encrypt(b"x");
+        assert_eq!(fhe.partial_decrypt(9, &ct), Err(FheError::NoSuchHolder(9)));
+    }
+}

@@ -1,0 +1,283 @@
+//! The **generalized subset task** — the family of NP-complete problems
+//! (generalizing Subset-Sum and Subset-Product) that §1.2 of the paper
+//! connects to SRDS: constructing SRDS from multi-signatures in weak PKI
+//! models would yield average-case SNARGs for exactly these problems.
+//!
+//! This module provides the language (over the field `F_{2^61−1}`), a
+//! planted average-case instance sampler, an exact solver for small
+//! instances, and a SNARG for the language built on the simulated SNARK —
+//! letting the benchmark harness (experiment E7 in DESIGN.md) measure the
+//! proof-size-vs-witness-size separation the paper's barrier argument turns
+//! on.
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_snark::subset::{SubsetInstance, SubsetOp};
+//! use pba_crypto::prg::Prg;
+//!
+//! let mut prg = Prg::from_seed_bytes(b"instance");
+//! let (instance, witness) = SubsetInstance::sample_planted(SubsetOp::Sum, 20, &mut prg);
+//! assert!(instance.check(&witness));
+//! ```
+
+use crate::system::{Proof, ProveError, Relation, SnarkCrs, SnarkSystem};
+use pba_crypto::field::Fp;
+use pba_crypto::prg::Prg;
+use std::fmt;
+
+/// The monoid operation defining the subset task variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SubsetOp {
+    /// Subset-Sum over `F_p` (identity 0, operation +).
+    Sum,
+    /// Subset-Product over `F_p` (identity 1, operation ×).
+    Product,
+}
+
+impl SubsetOp {
+    /// The identity element of the operation.
+    pub fn identity(&self) -> Fp {
+        match self {
+            SubsetOp::Sum => Fp::ZERO,
+            SubsetOp::Product => Fp::ONE,
+        }
+    }
+
+    /// Applies the operation.
+    pub fn apply(&self, a: Fp, b: Fp) -> Fp {
+        match self {
+            SubsetOp::Sum => a + b,
+            SubsetOp::Product => a * b,
+        }
+    }
+}
+
+impl fmt::Display for SubsetOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubsetOp::Sum => f.write_str("subset-sum"),
+            SubsetOp::Product => f.write_str("subset-product"),
+        }
+    }
+}
+
+/// An instance of the generalized subset task: elements `a_1 … a_k` and a
+/// target `T`; the question is whether some **nonempty** subset `S` has
+/// `⊙_{i∈S} a_i = T`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubsetInstance {
+    /// Which monoid the task is over.
+    pub op: SubsetOp,
+    /// The element list.
+    pub elements: Vec<Fp>,
+    /// The target value.
+    pub target: Fp,
+}
+
+impl SubsetInstance {
+    /// Samples a planted average-case instance: uniform elements, a uniform
+    /// nonempty subset as the planted witness, target derived from it.
+    ///
+    /// Returns the instance and the planted witness (a selection bitmap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn sample_planted(op: SubsetOp, k: usize, prg: &mut Prg) -> (SubsetInstance, Vec<bool>) {
+        assert!(k > 0, "instance needs at least one element");
+        let elements: Vec<Fp> = (0..k).map(|_| Fp::random(prg)).collect();
+        let mut witness: Vec<bool> = (0..k).map(|_| prg.gen_bool_ratio(1, 2)).collect();
+        if !witness.iter().any(|&b| b) {
+            witness[prg.gen_range(k as u64) as usize] = true;
+        }
+        let target = fold(op, &elements, &witness);
+        (
+            SubsetInstance {
+                op,
+                elements,
+                target,
+            },
+            witness,
+        )
+    }
+
+    /// Checks a candidate witness: nonempty selection folding to the target.
+    pub fn check(&self, witness: &[bool]) -> bool {
+        witness.len() == self.elements.len()
+            && witness.iter().any(|&b| b)
+            && fold(self.op, &self.elements, witness) == self.target
+    }
+
+    /// Exhaustively searches for a witness. Exponential in `k`; intended for
+    /// tests and small-instance validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 24` (over 16M subsets).
+    pub fn solve_exhaustive(&self) -> Option<Vec<bool>> {
+        let k = self.elements.len();
+        assert!(k <= 24, "exhaustive search capped at k=24, got {k}");
+        for mask in 1u32..(1u32 << k) {
+            let witness: Vec<bool> = (0..k).map(|i| mask >> i & 1 == 1).collect();
+            if fold(self.op, &self.elements, &witness) == self.target {
+                return Some(witness);
+            }
+        }
+        None
+    }
+
+    /// Witness size in bits (what a trivial NP proof would ship).
+    pub fn witness_bits(&self) -> usize {
+        self.elements.len()
+    }
+}
+
+fn fold(op: SubsetOp, elements: &[Fp], witness: &[bool]) -> Fp {
+    elements
+        .iter()
+        .zip(witness)
+        .filter(|(_, &b)| b)
+        .fold(op.identity(), |acc, (&a, _)| op.apply(acc, a))
+}
+
+/// The NP relation for the subset task (statement = instance, witness =
+/// selection bitmap).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubsetRelation;
+
+impl Relation for SubsetRelation {
+    type Statement = SubsetInstance;
+    type Witness = Vec<bool>;
+
+    fn id(&self) -> &'static str {
+        "generalized-subset-task"
+    }
+
+    fn check(&self, statement: &SubsetInstance, witness: &Vec<bool>) -> bool {
+        statement.check(witness)
+    }
+
+    fn encode_statement(&self, s: &SubsetInstance, buf: &mut Vec<u8>) {
+        buf.push(match s.op {
+            SubsetOp::Sum => 0,
+            SubsetOp::Product => 1,
+        });
+        buf.extend_from_slice(&(s.elements.len() as u64).to_le_bytes());
+        for e in &s.elements {
+            buf.extend_from_slice(&e.value().to_le_bytes());
+        }
+        buf.extend_from_slice(&s.target.value().to_le_bytes());
+    }
+}
+
+/// A SNARG for the generalized subset task: 32-byte proofs for witnesses of
+/// any length.
+pub type SubsetSnarg = SnarkSystem<SubsetRelation>;
+
+/// Convenience constructor for the subset-task SNARG.
+pub fn subset_snarg(crs: SnarkCrs) -> SubsetSnarg {
+    SnarkSystem::new(crs, SubsetRelation)
+}
+
+/// Proves a planted instance, returning `(proof, witness_bits, proof_bytes)`
+/// for size-separation reporting.
+///
+/// # Errors
+///
+/// Propagates [`ProveError`] if the witness is invalid.
+pub fn prove_with_sizes(
+    snarg: &SubsetSnarg,
+    instance: &SubsetInstance,
+    witness: &Vec<bool>,
+) -> Result<(Proof, usize, usize), ProveError> {
+    let proof = snarg.prove(instance, witness)?;
+    Ok((proof, instance.witness_bits(), Proof::LEN))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_instances_check() {
+        let mut prg = Prg::from_seed_bytes(b"p");
+        for op in [SubsetOp::Sum, SubsetOp::Product] {
+            for k in [1usize, 2, 5, 50, 200] {
+                let (inst, wit) = SubsetInstance::sample_planted(op, k, &mut prg);
+                assert!(inst.check(&wit), "op={op} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"e");
+        let (mut inst, _) = SubsetInstance::sample_planted(SubsetOp::Sum, 4, &mut prg);
+        inst.target = Fp::ZERO; // empty subset "sums" to 0, but must be rejected
+        assert!(!inst.check(&[false; 4]));
+    }
+
+    #[test]
+    fn wrong_length_witness_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"w");
+        let (inst, wit) = SubsetInstance::sample_planted(SubsetOp::Sum, 5, &mut prg);
+        assert!(!inst.check(&wit[..4]));
+    }
+
+    #[test]
+    fn exhaustive_solver_finds_planted() {
+        let mut prg = Prg::from_seed_bytes(b"s");
+        for op in [SubsetOp::Sum, SubsetOp::Product] {
+            let (inst, _) = SubsetInstance::sample_planted(op, 12, &mut prg);
+            let found = inst.solve_exhaustive().expect("planted instance solvable");
+            assert!(inst.check(&found));
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_instance_unsolved() {
+        // With random target, a k=10 instance has ~1023/p chance of being
+        // satisfiable — effectively zero.
+        let mut prg = Prg::from_seed_bytes(b"u");
+        let inst = SubsetInstance {
+            op: SubsetOp::Sum,
+            elements: (0..10).map(|_| Fp::random(&mut prg)).collect(),
+            target: Fp::random(&mut prg),
+        };
+        assert_eq!(inst.solve_exhaustive(), None);
+    }
+
+    #[test]
+    fn snarg_roundtrip_and_sizes() {
+        let mut prg = Prg::from_seed_bytes(b"g");
+        let snarg = subset_snarg(SnarkCrs::setup(b"subset-crs"));
+        let (inst, wit) = SubsetInstance::sample_planted(SubsetOp::Product, 500, &mut prg);
+        let (proof, wbits, pbytes) = prove_with_sizes(&snarg, &inst, &wit).unwrap();
+        assert!(snarg.verify(&inst, &proof));
+        assert_eq!(wbits, 500);
+        assert_eq!(pbytes, 32); // succinct: 32 bytes vs 500-bit witness
+    }
+
+    #[test]
+    fn snarg_rejects_bad_witness() {
+        let mut prg = Prg::from_seed_bytes(b"b");
+        let snarg = subset_snarg(SnarkCrs::setup(b"subset-crs"));
+        let (inst, mut wit) = SubsetInstance::sample_planted(SubsetOp::Sum, 20, &mut prg);
+        // Flip a bit: overwhelmingly no longer a witness.
+        wit[0] = !wit[0];
+        if !inst.check(&wit) {
+            assert!(snarg.prove(&inst, &wit).is_err());
+        }
+    }
+
+    #[test]
+    fn proof_not_transferable_across_instances() {
+        let mut prg = Prg::from_seed_bytes(b"t");
+        let snarg = subset_snarg(SnarkCrs::setup(b"subset-crs"));
+        let (i1, w1) = SubsetInstance::sample_planted(SubsetOp::Sum, 8, &mut prg);
+        let (i2, _) = SubsetInstance::sample_planted(SubsetOp::Sum, 8, &mut prg);
+        let p = snarg.prove(&i1, &w1).unwrap();
+        assert!(!snarg.verify(&i2, &p));
+    }
+}

@@ -1,0 +1,386 @@
+//! A **simulated** succinct non-interactive argument of knowledge (SNARK).
+//!
+//! The paper's bare-PKI SRDS assumes SNARKs with linear extraction — a
+//! non-falsifiable assumption with no offline-buildable instantiation. Per
+//! the substitution policy (DESIGN.md §2), we model a SNARK with a
+//! *designated-setup attestation scheme*:
+//!
+//! * [`SnarkCrs::setup`] samples a CRS containing a secret MAC trapdoor;
+//! * [`SnarkSystem::prove`] **checks the NP relation locally** and — only if
+//!   the witness satisfies it — emits a constant-size (32-byte) proof, an
+//!   HMAC of the statement under the trapdoor;
+//! * [`SnarkSystem::verify`] recomputes the MAC.
+//!
+//! What this preserves (the quantities the paper reasons about):
+//! **succinctness** — proofs are 32 bytes regardless of witness size, so all
+//! communication measurements match a real SNARK deployment; and
+//! **knowledge soundness inside the simulation** — no proof exists unless
+//! `prove` was called with a satisfying witness, so accepted proofs imply a
+//! witness was materially held (the "extractor" is trivial). What it does
+//! *not* provide is security against an adversary holding the CRS — no such
+//! adversary exists in any experiment in this workspace; adversarial
+//! strategies interact with proofs only through [`SnarkSystem::prove`] /
+//! [`SnarkSystem::verify`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pba_snark::system::{Relation, SnarkCrs, SnarkSystem};
+//!
+//! /// Statement: a digest `d`. Witness: a preimage of `d`.
+//! struct PreimageRelation;
+//! impl Relation for PreimageRelation {
+//!     type Statement = pba_crypto::Digest;
+//!     type Witness = Vec<u8>;
+//!     fn id(&self) -> &'static str { "sha256-preimage" }
+//!     fn check(&self, statement: &Self::Statement, witness: &Self::Witness) -> bool {
+//!         pba_crypto::Sha256::digest(witness) == *statement
+//!     }
+//!     fn encode_statement(&self, s: &Self::Statement, buf: &mut Vec<u8>) {
+//!         buf.extend_from_slice(s.as_bytes());
+//!     }
+//! }
+//!
+//! let crs = SnarkCrs::setup(b"common random string");
+//! let snark = SnarkSystem::new(crs, PreimageRelation);
+//! let statement = pba_crypto::Sha256::digest(b"witness");
+//! let proof = snark.prove(&statement, &b"witness".to_vec())?;
+//! assert!(snark.verify(&statement, &proof));
+//! # Ok::<(), pba_snark::system::ProveError>(())
+//! ```
+
+use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
+use pba_crypto::hmac::hmac_sha256;
+use pba_crypto::sha256::{Digest, Sha256};
+use std::fmt;
+
+/// An NP relation: statements, witnesses, and the satisfaction check.
+pub trait Relation {
+    /// Public statement type.
+    type Statement;
+    /// Private witness type.
+    type Witness;
+
+    /// Stable identifier, mixed into every proof (domain separation across
+    /// relations sharing a CRS).
+    fn id(&self) -> &'static str;
+
+    /// The satisfaction predicate `R(x, w)`.
+    fn check(&self, statement: &Self::Statement, witness: &Self::Witness) -> bool;
+
+    /// Canonical encoding of the statement (what the proof binds to).
+    fn encode_statement(&self, statement: &Self::Statement, buf: &mut Vec<u8>);
+}
+
+/// The common reference string: a public identifier plus the secret
+/// attestation trapdoor.
+///
+/// The trapdoor is deliberately inaccessible (private field, no getter):
+/// code in this workspace can only use it through [`SnarkSystem`].
+#[derive(Clone)]
+pub struct SnarkCrs {
+    public_id: Digest,
+    trapdoor: Digest,
+}
+
+impl fmt::Debug for SnarkCrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnarkCrs")
+            .field("public_id", &self.public_id)
+            .field("trapdoor", &"<redacted>")
+            .finish()
+    }
+}
+
+impl SnarkCrs {
+    /// Runs the trusted setup, deriving the CRS from `randomness`.
+    pub fn setup(randomness: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"pba-snark-crs-public");
+        h.update(randomness);
+        let public_id = h.finalize();
+        let mut h = Sha256::new();
+        h.update(b"pba-snark-crs-trapdoor");
+        h.update(randomness);
+        SnarkCrs {
+            public_id,
+            trapdoor: h.finalize(),
+        }
+    }
+
+    /// The public CRS identifier (safe to publish).
+    pub fn public_id(&self) -> Digest {
+        self.public_id
+    }
+
+    pub(crate) fn attest(&self, relation_id: &str, statement_digest: &Digest) -> Digest {
+        let mut msg = Vec::with_capacity(relation_id.len() + 32);
+        msg.extend_from_slice(relation_id.as_bytes());
+        msg.push(0); // separator: relation ids contain no NUL
+        msg.extend_from_slice(statement_digest.as_bytes());
+        hmac_sha256(self.trapdoor.as_bytes(), &msg)
+    }
+}
+
+/// A succinct proof: 32 bytes, independent of witness size.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Proof(Digest);
+
+impl Proof {
+    /// Wire size of any proof.
+    pub const LEN: usize = 32;
+
+    /// Raw bytes (e.g. for adversarial mangling in tests).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Constructs a proof from raw bytes — exists so adversaries can *try*
+    /// to forge; such proofs fail verification unless they hit the MAC.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Proof(Digest::new(bytes))
+    }
+}
+
+impl fmt::Debug for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Proof({}..)", &self.0.to_hex()[..8])
+    }
+}
+
+impl Encode for Proof {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        Self::LEN
+    }
+}
+
+impl Decode for Proof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Proof(Digest::decode(r)?))
+    }
+}
+
+/// Error from [`SnarkSystem::prove`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProveError {
+    /// The witness does not satisfy the relation — an honest prover refuses
+    /// (and a malicious one cannot do better; that is the soundness model).
+    WitnessUnsatisfied,
+}
+
+impl fmt::Display for ProveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProveError::WitnessUnsatisfied => f.write_str("witness does not satisfy the relation"),
+        }
+    }
+}
+
+impl std::error::Error for ProveError {}
+
+/// A SNARK for a fixed relation under a fixed CRS.
+#[derive(Clone, Debug)]
+pub struct SnarkSystem<R> {
+    crs: SnarkCrs,
+    relation: R,
+}
+
+impl<R: Relation> SnarkSystem<R> {
+    /// Binds a relation to a CRS.
+    pub fn new(crs: SnarkCrs, relation: R) -> Self {
+        SnarkSystem { crs, relation }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &R {
+        &self.relation
+    }
+
+    /// The CRS.
+    pub fn crs(&self) -> &SnarkCrs {
+        &self.crs
+    }
+
+    fn statement_digest(&self, statement: &R::Statement) -> Digest {
+        let mut buf = Vec::new();
+        self.relation.encode_statement(statement, &mut buf);
+        let mut h = Sha256::new();
+        h.update(b"pba-snark-stmt");
+        h.update(self.crs.public_id.as_bytes());
+        h.update(&buf);
+        h.finalize()
+    }
+
+    /// Produces a proof that the prover knows `witness` with
+    /// `R(statement, witness) = 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProveError::WitnessUnsatisfied`] when the relation check fails —
+    /// this is where the simulation enforces knowledge soundness.
+    pub fn prove(
+        &self,
+        statement: &R::Statement,
+        witness: &R::Witness,
+    ) -> Result<Proof, ProveError> {
+        if !self.relation.check(statement, witness) {
+            return Err(ProveError::WitnessUnsatisfied);
+        }
+        let d = self.statement_digest(statement);
+        Ok(Proof(self.crs.attest(self.relation.id(), &d)))
+    }
+
+    /// Verifies a proof for `statement`.
+    pub fn verify(&self, statement: &R::Statement, proof: &Proof) -> bool {
+        let d = self.statement_digest(statement);
+        self.crs.attest(self.relation.id(), &d) == proof.0
+    }
+}
+
+/// A designated-setup attestor: the raw MAC primitive underlying the
+/// simulated SNARK, exposed for sibling simulation substrates (e.g. the
+/// multi-signature baseline) that need "combine with an unforgeable tag"
+/// behaviour without a full NP relation.
+///
+/// Holding an `Attestor` means holding the CRS — i.e., being the trusted
+/// setup or an honest protocol participant. Adversarial code in the
+/// experiments never calls [`Attestor::attest`] on statements it could not
+/// legitimately produce; forging a tag without it requires guessing a
+/// 32-byte MAC.
+#[derive(Clone, Debug)]
+pub struct Attestor {
+    crs: SnarkCrs,
+    domain: &'static str,
+}
+
+impl Attestor {
+    /// Creates an attestor for a fixed domain label.
+    pub fn new(crs: SnarkCrs, domain: &'static str) -> Self {
+        Attestor { crs, domain }
+    }
+
+    /// Produces the tag for a statement digest.
+    pub fn attest(&self, statement: &Digest) -> Digest {
+        self.crs.attest(self.domain, statement)
+    }
+
+    /// Checks a tag.
+    pub fn check(&self, statement: &Digest, tag: &Digest) -> bool {
+        self.attest(statement) == *tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SumRelation;
+
+    impl Relation for SumRelation {
+        type Statement = u64;
+        type Witness = (u64, u64);
+        fn id(&self) -> &'static str {
+            "sum"
+        }
+        fn check(&self, statement: &u64, witness: &(u64, u64)) -> bool {
+            witness.0.wrapping_add(witness.1) == *statement
+        }
+        fn encode_statement(&self, s: &u64, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+
+    fn system() -> SnarkSystem<SumRelation> {
+        SnarkSystem::new(SnarkCrs::setup(b"test-crs"), SumRelation)
+    }
+
+    #[test]
+    fn prove_verify_roundtrip() {
+        let s = system();
+        let proof = s.prove(&10, &(4, 6)).unwrap();
+        assert!(s.verify(&10, &proof));
+    }
+
+    #[test]
+    fn bad_witness_refused() {
+        let s = system();
+        assert_eq!(s.prove(&10, &(4, 7)), Err(ProveError::WitnessUnsatisfied));
+    }
+
+    #[test]
+    fn proof_does_not_transfer_to_other_statement() {
+        let s = system();
+        let proof = s.prove(&10, &(4, 6)).unwrap();
+        assert!(!s.verify(&11, &proof));
+    }
+
+    #[test]
+    fn forged_bytes_rejected() {
+        let s = system();
+        assert!(!s.verify(&10, &Proof::from_bytes([0u8; 32])));
+        let real = s.prove(&10, &(1, 9)).unwrap();
+        let mut bytes: [u8; 32] = real.as_bytes().try_into().unwrap();
+        bytes[0] ^= 1;
+        assert!(!s.verify(&10, &Proof::from_bytes(bytes)));
+    }
+
+    #[test]
+    fn cross_crs_rejected() {
+        let s1 = system();
+        let s2 = SnarkSystem::new(SnarkCrs::setup(b"other-crs"), SumRelation);
+        let proof = s1.prove(&10, &(5, 5)).unwrap();
+        assert!(!s2.verify(&10, &proof));
+    }
+
+    #[test]
+    fn cross_relation_rejected() {
+        struct ProductRelation;
+        impl Relation for ProductRelation {
+            type Statement = u64;
+            type Witness = (u64, u64);
+            fn id(&self) -> &'static str {
+                "product"
+            }
+            fn check(&self, s: &u64, w: &(u64, u64)) -> bool {
+                w.0.wrapping_mul(w.1) == *s
+            }
+            fn encode_statement(&self, s: &u64, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        let crs = SnarkCrs::setup(b"shared");
+        let sum = SnarkSystem::new(crs.clone(), SumRelation);
+        let product = SnarkSystem::new(crs, ProductRelation);
+        // 10 = 4+6 and 10 = 2*5; proofs must not transfer across relations.
+        let sum_proof = sum.prove(&10, &(4, 6)).unwrap();
+        assert!(!product.verify(&10, &sum_proof));
+    }
+
+    #[test]
+    fn proof_is_constant_size() {
+        let s = system();
+        let p = s.prove(&u64::MAX, &(u64::MAX, 0)).unwrap();
+        assert_eq!(pba_crypto::codec::encode_to_vec(&p).len(), Proof::LEN);
+    }
+
+    #[test]
+    fn attestor_roundtrip_and_domain_separation() {
+        let crs = SnarkCrs::setup(b"a");
+        let a1 = Attestor::new(crs.clone(), "d1");
+        let a2 = Attestor::new(crs, "d2");
+        let stmt = Sha256::digest(b"statement");
+        let tag = a1.attest(&stmt);
+        assert!(a1.check(&stmt, &tag));
+        assert!(!a2.check(&stmt, &tag));
+        assert!(!a1.check(&Sha256::digest(b"other"), &tag));
+    }
+
+    #[test]
+    fn debug_redacts_trapdoor() {
+        let crs = SnarkCrs::setup(b"x");
+        assert!(format!("{crs:?}").contains("<redacted>"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run balanced Byzantine agreement with both SRDS schemes and
+//! print the communication report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use polylog_ba::prelude::*;
+
+fn main() {
+    let n = 128;
+    let t = 12;
+
+    println!("== polylog-ba quickstart: n = {n}, t = {t} Byzantine ==\n");
+
+    // Inputs: everyone starts with 1 — validity requires the output be 1.
+    let inputs = vec![1u8; n];
+
+    // --- OWF / trusted-PKI SRDS (Theorem 2.7) ---
+    let owf = OwfSrds::with_defaults();
+    let config = BaConfig::byzantine(n, t, b"quickstart-owf");
+    let outcome = run_ba(&owf, &config, &inputs);
+    print_outcome("OWF + trusted PKI", &outcome);
+
+    // --- CRH + SNARK / bare-PKI SRDS (Theorem 2.8) ---
+    let snark = SnarkSrds::with_defaults();
+    let config = BaConfig::byzantine(n, t, b"quickstart-snark");
+    let outcome = run_ba(&snark, &config, &inputs);
+    print_outcome("SNARK + bare PKI", &outcome);
+}
+
+fn print_outcome(label: &str, outcome: &BaOutcome) {
+    println!("--- {label} ---");
+    println!("  agreement: {}", outcome.agreement);
+    println!(
+        "  output:    {:?} (validity: {})",
+        outcome.output, outcome.validity
+    );
+    println!(
+        "  certificate size: {} bytes",
+        outcome.certificate_len.unwrap_or(0)
+    );
+    println!(
+        "  max bytes/party: {}  (total: {}, rounds: {}, locality: {})",
+        outcome.report.max_bytes_per_party,
+        outcome.report.total_bytes,
+        outcome.report.rounds,
+        outcome.report.max_locality
+    );
+    println!("  per-step breakdown (total honest bytes):");
+    for step in &outcome.steps {
+        println!("    {:<28} {:>12}", step.label, step.total_bytes);
+    }
+    println!();
+}

@@ -1,0 +1,58 @@
+//! Direct SRDS usage: establish a PKI, sign, aggregate up a tree in
+//! polylog batches, verify — and compare certificate sizes across the two
+//! paper constructions and the multisignature baseline.
+//!
+//! This demonstrates the crux of the paper: multisignatures aggregate
+//! succinctly but their *verifiable* form needs the Θ(n) contributor set,
+//! while SRDS certificates stay Õ(1).
+//!
+//! ```sh
+//! cargo run --release --example srds_certificates
+//! ```
+
+use polylog_ba::prelude::*;
+
+fn certificate_size<S: Srds>(scheme: &S, n: usize, label: &str) {
+    let mut prg = Prg::from_seed_bytes(b"certificates-demo");
+    let board = PkiBoard::establish(scheme, n, &mut prg);
+    let keys = board.prepare(scheme);
+    let message = b"state-root:0xabc123";
+
+    // Everyone signs.
+    let sigs: Vec<S::Signature> = (0..n as u64)
+        .filter_map(|i| scheme.sign(&board.pp, i, &board.sks[i as usize], message))
+        .collect();
+
+    // Aggregate the way the protocol does: leaf batches, then joins.
+    let batch = 16;
+    let leaf_aggs: Vec<S::Signature> = sigs
+        .chunks(batch)
+        .filter_map(|chunk| scheme.aggregate(&board.pp, &keys, message, chunk))
+        .collect();
+    let root = scheme
+        .aggregate(&board.pp, &keys, message, &leaf_aggs)
+        .expect("root certificate");
+
+    assert!(scheme.verify(&board.pp, &keys, message, &root));
+    println!(
+        "{label:<24} n = {n:>5}: certificate = {:>7} bytes  (mode: {})",
+        scheme.signature_len(&root),
+        scheme.mode()
+    );
+}
+
+fn main() {
+    println!("== SRDS certificate sizes: who pays for the signer set? ==\n");
+    for n in [64usize, 256, 1024] {
+        certificate_size(&OwfSrds::with_defaults(), n, "OWF sortition SRDS");
+        certificate_size(&SnarkSrds::with_defaults(), n, "SNARK/PCD SRDS");
+        certificate_size(&MultisigSrds::with_defaults(), n, "multisig baseline");
+        println!();
+    }
+    println!(
+        "note: the multisig certificate grows by n/8 bytes per step — the \
+         Θ(n) signer bitmap the paper's SRDS eliminates. The OWF certificate \
+         is polylog (sortition keeps the signer count ~log n); the SNARK \
+         certificate is constant."
+    );
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the SRDS schemes: aggregation is
+//! order-insensitive and duplicate-proof, verification thresholds are
+//! exact, and the security games hold over random corruption patterns.
+
+use pba_crypto::prg::Prg;
+use pba_srds::experiments::{
+    run_forgery, run_robustness, AggregateForgeryAdversary, DefaultRobustnessAdversary,
+};
+use pba_srds::owf::{OwfSignature, OwfSrds};
+use pba_srds::snark::{SnarkSignature, SnarkSrds};
+use pba_srds::traits::{PkiBoard, Srds};
+use proptest::prelude::*;
+
+fn owf_board(n: usize, seed: &[u8]) -> (OwfSrds, PkiBoard<OwfSrds>, Vec<OwfSignature>) {
+    let scheme = OwfSrds::with_defaults();
+    let mut prg = Prg::from_seed_bytes(seed);
+    let board = PkiBoard::establish(&scheme, n, &mut prg);
+    let sigs = (0..n as u64)
+        .filter_map(|i| scheme.sign(&board.pp, i, &board.sks[i as usize], b"prop-m"))
+        .collect();
+    (scheme, board, sigs)
+}
+
+fn snark_board(n: usize, seed: &[u8]) -> (SnarkSrds, PkiBoard<SnarkSrds>, Vec<SnarkSignature>) {
+    let scheme = SnarkSrds::with_defaults();
+    let mut prg = Prg::from_seed_bytes(seed);
+    let board = PkiBoard::establish(&scheme, n, &mut prg);
+    let sigs = (0..n as u64)
+        .filter_map(|i| scheme.sign(&board.pp, i, &board.sks[i as usize], b"prop-m"))
+        .collect();
+    (scheme, board, sigs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn owf_aggregation_order_insensitive(seed in any::<[u8; 8]>(), swaps in proptest::collection::vec((0usize..64, 0usize..64), 0..24)) {
+        let (scheme, board, sigs) = owf_board(256, &seed);
+        prop_assume!(sigs.len() >= 2);
+        let keys = board.prepare(&scheme);
+        let base = scheme.aggregate(&board.pp, &keys, b"prop-m", &sigs).unwrap();
+        let mut shuffled = sigs.clone();
+        for (a, b) in swaps {
+            let (a, b) = (a % shuffled.len(), b % shuffled.len());
+            shuffled.swap(a, b);
+        }
+        let agg = scheme.aggregate(&board.pp, &keys, b"prop-m", &shuffled).unwrap();
+        prop_assert_eq!(agg, base);
+    }
+
+    #[test]
+    fn owf_duplicates_never_inflate(seed in any::<[u8; 8]>(), dup_factor in 2usize..5) {
+        let (scheme, board, sigs) = owf_board(256, &seed);
+        prop_assume!(!sigs.is_empty());
+        let keys = board.prepare(&scheme);
+        let base = scheme.aggregate(&board.pp, &keys, b"prop-m", &sigs).unwrap();
+        let mut dup = Vec::new();
+        for _ in 0..dup_factor {
+            dup.extend(sigs.iter().cloned());
+        }
+        let agg = scheme.aggregate(&board.pp, &keys, b"prop-m", &dup).unwrap();
+        prop_assert_eq!(agg.entries.len(), base.entries.len());
+    }
+
+    #[test]
+    fn snark_count_is_exact_for_any_subset(seed in any::<[u8; 8]>(), keep_mask in any::<u64>()) {
+        let (scheme, board, sigs) = snark_board(48, &seed);
+        let keys = board.prepare(&scheme);
+        let subset: Vec<SnarkSignature> = sigs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask >> (i % 64) & 1 == 1)
+            .map(|(_, s)| s.clone())
+            .collect();
+        prop_assume!(!subset.is_empty());
+        let agg = scheme.aggregate(&board.pp, &keys, b"prop-m", &subset).unwrap();
+        if let SnarkSignature::Agg(cert) = &agg {
+            prop_assert_eq!(cert.count as usize, subset.len());
+        } else {
+            prop_assert!(false, "expected aggregate");
+        }
+    }
+
+    #[test]
+    fn snark_split_aggregation_counts_match_flat(seed in any::<[u8; 8]>(), split in 1usize..47) {
+        let (scheme, board, sigs) = snark_board(48, &seed);
+        let keys = board.prepare(&scheme);
+        let a = scheme.aggregate(&board.pp, &keys, b"prop-m", &sigs[..split]).unwrap();
+        let b = scheme.aggregate(&board.pp, &keys, b"prop-m", &sigs[split..]).unwrap();
+        let joined = scheme.aggregate(&board.pp, &keys, b"prop-m", &[a, b]).unwrap();
+        if let SnarkSignature::Agg(cert) = &joined {
+            prop_assert_eq!(cert.count, 48);
+            prop_assert!(scheme.verify(&board.pp, &keys, b"prop-m", &joined));
+        } else {
+            prop_assert!(false, "expected aggregate");
+        }
+    }
+
+    #[test]
+    fn robustness_holds_over_random_seeds(seed in any::<[u8; 8]>(), n in 120usize..260) {
+        let scheme = SnarkSrds::with_defaults();
+        let t = n / 12;
+        let out = run_robustness(&scheme, n, t, &mut DefaultRobustnessAdversary, &seed)
+            .expect("well-posed");
+        prop_assert!(out.verified);
+    }
+
+    #[test]
+    fn forgery_never_succeeds_over_random_seeds(seed in any::<[u8; 8]>(), n in 120usize..260) {
+        // The sortition scheme's unforgeability is a concentration bound
+        // (see the margin analysis in pba_srds::owf); against the game's
+        // maximal n/3 coalition, a ~4sigma margin needs s ~ 150+ signers.
+        let scheme = OwfSrds::new(pba_srds::owf::OwfSrdsConfig {
+            lamport_bits: 32,
+            signer_factor: 20,
+            min_signers: 150,
+        });
+        let t = n / 12;
+        let out = run_forgery(&scheme, n, t, &mut AggregateForgeryAdversary::default(), &seed)
+            .expect("well-posed");
+        prop_assert!(!out.forged);
+    }
+
+    #[test]
+    fn forgery_never_succeeds_snark(seed in any::<[u8; 8]>(), n in 90usize..200) {
+        // The SNARK scheme counts exactly (no concentration slack): a
+        // sub-majority coalition can never reach the n/2+1 threshold.
+        let scheme = SnarkSrds::with_defaults();
+        let t = n / 12;
+        let out = run_forgery(&scheme, n, t, &mut AggregateForgeryAdversary::default(), &seed)
+            .expect("well-posed");
+        prop_assert!(!out.forged);
+    }
+
+    #[test]
+    fn min_max_indices_bound_all_aggregated(seed in any::<[u8; 8]>(), lo in 0usize..20, width in 5usize..28) {
+        let (scheme, board, sigs) = snark_board(48, &seed);
+        let keys = board.prepare(&scheme);
+        let hi = (lo + width).min(sigs.len());
+        let slice = &sigs[lo..hi];
+        let agg = scheme.aggregate(&board.pp, &keys, b"prop-m", slice).unwrap();
+        prop_assert_eq!(scheme.min_index(&agg), lo as u64);
+        prop_assert_eq!(scheme.max_index(&agg), (hi - 1) as u64);
+    }
+}

@@ -1,0 +1,186 @@
+//! Security-game integration tests: the Figure 1/2 experiments across
+//! seeds, schemes, and scheme-specific adversaries (count inflation,
+//! certificate splicing, bare-PKI key substitution).
+
+use pba_srds::experiments::{
+    run_forgery, run_robustness, AggregateForgeryAdversary, DefaultRobustnessAdversary,
+    ForgeryAdversary, ReplayRobustnessAdversary, RobustnessAdversary,
+};
+use pba_srds::snark::{SnarkSignature, SnarkSrds};
+use polylog_ba::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[test]
+fn robustness_sweep_owf() {
+    let scheme = OwfSrds::with_defaults();
+    for seed in 0..5u8 {
+        let out = run_robustness(&scheme, 200, 20, &mut DefaultRobustnessAdversary, &[seed])
+            .expect("well-posed");
+        assert!(out.verified, "seed {seed}: {out:?}");
+    }
+}
+
+#[test]
+fn robustness_sweep_snark() {
+    let scheme = SnarkSrds::with_defaults();
+    for seed in 0..5u8 {
+        let out = run_robustness(&scheme, 150, 15, &mut ReplayRobustnessAdversary, &[seed])
+            .expect("well-posed");
+        assert!(out.verified, "seed {seed}: {out:?}");
+    }
+}
+
+#[test]
+fn forgery_sweep_both() {
+    for seed in 0..5u8 {
+        let owf = OwfSrds::with_defaults();
+        let out = run_forgery(
+            &owf,
+            240,
+            24,
+            &mut AggregateForgeryAdversary::default(),
+            &[seed],
+        )
+        .expect("well-posed");
+        assert!(!out.forged, "OWF forged at seed {seed}");
+
+        let snark = SnarkSrds::with_defaults();
+        let out = run_forgery(
+            &snark,
+            120,
+            12,
+            &mut AggregateForgeryAdversary::default(),
+            &[seed],
+        )
+        .expect("well-posed");
+        assert!(!out.forged, "SNARK forged at seed {seed}");
+    }
+}
+
+/// A SNARK-specific robustness adversary: bad nodes try to *inflate* their
+/// children's counts by mangling the certificate fields (the proof no
+/// longer matches, so honest parents must filter it — robustness must
+/// still hold through the remaining good paths).
+struct CountInflationAdversary;
+
+impl RobustnessAdversary<SnarkSrds> for CountInflationAdversary {
+    fn bad_aggregate(
+        &mut self,
+        _scheme: &SnarkSrds,
+        _board: &PkiBoard<SnarkSrds>,
+        _level: usize,
+        _node: usize,
+        children: &[SnarkSignature],
+    ) -> Option<SnarkSignature> {
+        match children.first()? {
+            SnarkSignature::Agg(cert) => {
+                let mut inflated = cert.clone();
+                inflated.count = inflated.count.saturating_mul(10);
+                Some(SnarkSignature::Agg(inflated))
+            }
+            other => Some(other.clone()),
+        }
+    }
+}
+
+#[test]
+fn count_inflation_neither_breaks_robustness_nor_forges() {
+    let scheme = SnarkSrds::with_defaults();
+    let out = run_robustness(&scheme, 150, 15, &mut CountInflationAdversary, b"inflate")
+        .expect("well-posed");
+    assert!(out.verified, "inflation broke robustness: {out:?}");
+}
+
+/// A bare-PKI forgery adversary that *replaces corrupted keys* after seeing
+/// the whole board (Figure 2, step A.4b) and then mounts the aggregate
+/// forgery. Replacement keys are fully controlled (the adversary holds
+/// their signing keys).
+struct KeyReplacingForger {
+    inner: AggregateForgeryAdversary,
+}
+
+impl ForgeryAdversary<SnarkSrds> for KeyReplacingForger {
+    fn replace_keys(
+        &mut self,
+        scheme: &SnarkSrds,
+        corrupt: &BTreeSet<u64>,
+        board: &mut PkiBoard<SnarkSrds>,
+        prg: &mut Prg,
+    ) {
+        for &i in corrupt {
+            let (vk, sk) = scheme.keygen(&board.pp, prg);
+            board.vks[i as usize] = vk;
+            board.sks[i as usize] = sk;
+        }
+    }
+
+    fn choose_challenge(
+        &mut self,
+        n: usize,
+        corrupt: &BTreeSet<u64>,
+        prg: &mut Prg,
+    ) -> (Vec<u8>, BTreeMap<u64, Vec<u8>>) {
+        ForgeryAdversary::<SnarkSrds>::choose_challenge(&mut self.inner, n, corrupt, prg)
+    }
+
+    fn forge(
+        &mut self,
+        scheme: &SnarkSrds,
+        board: &PkiBoard<SnarkSrds>,
+        keys: &<SnarkSrds as Srds>::KeyBoard,
+        corrupt: &BTreeSet<u64>,
+        message: &[u8],
+        honest: &BTreeMap<u64, SnarkSignature>,
+    ) -> Option<(Vec<u8>, SnarkSignature)> {
+        ForgeryAdversary::<SnarkSrds>::forge(
+            &mut self.inner,
+            scheme,
+            board,
+            keys,
+            corrupt,
+            message,
+            honest,
+        )
+    }
+}
+
+#[test]
+fn bare_pki_key_replacement_does_not_enable_forgery() {
+    let scheme = SnarkSrds::with_defaults();
+    let mut adversary = KeyReplacingForger {
+        inner: AggregateForgeryAdversary::default(),
+    };
+    let out = run_forgery(&scheme, 120, 12, &mut adversary, b"replace").expect("well-posed");
+    assert!(!out.forged, "key replacement enabled forgery: {out:?}");
+}
+
+#[test]
+fn robustness_certificate_is_succinct_across_sizes() {
+    let scheme = SnarkSrds::with_defaults();
+    let mut sizes = Vec::new();
+    for n in [100usize, 400] {
+        let out = run_robustness(&scheme, n, n / 10, &mut DefaultRobustnessAdversary, b"size")
+            .expect("well-posed");
+        assert!(out.verified);
+        sizes.push(out.root_signature_len.unwrap());
+    }
+    assert_eq!(
+        sizes[0], sizes[1],
+        "certificate size not constant: {sizes:?}"
+    );
+}
+
+#[test]
+fn owf_succinctness_bound() {
+    // OWF certificates are polylog·poly(κ): check against the Def. 2.2
+    // bound with a per-scheme base.
+    let scheme = OwfSrds::with_defaults();
+    let out = run_robustness(&scheme, 400, 40, &mut DefaultRobustnessAdversary, b"bound")
+        .expect("well-posed");
+    assert!(out.verified);
+    let len = out.root_signature_len.unwrap();
+    assert!(
+        pba_srds::traits::check_succinctness(len, 400, 4096),
+        "OWF certificate {len} exceeds polylog bound"
+    );
+}
