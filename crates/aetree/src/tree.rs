@@ -279,6 +279,30 @@ impl Tree {
         leaves.dedup();
         leaves
     }
+
+    /// A committee-takeover corruption plan: corrupt up to `max` of the
+    /// distinct parties serving in `leaf`'s committee (slot order, so the
+    /// choice is deterministic for a given tree).
+    ///
+    /// This is the structured placement the chaos sweep uses to
+    /// concentrate the adversary's budget on one a.e.-tree leaf — the
+    /// attack the tree's goodness analysis is supposed to absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn leaf_takeover(&self, leaf: usize, max: usize) -> pba_net::corruption::CorruptionPlan {
+        let mut chosen: Vec<PartyId> = Vec::new();
+        for &member in self.committee(0, leaf) {
+            if chosen.len() == max {
+                break;
+            }
+            if !chosen.contains(&member) {
+                chosen.push(member);
+            }
+        }
+        pba_net::corruption::CorruptionPlan::Explicit(chosen.into_iter().collect())
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +379,31 @@ mod tests {
                 assert_eq!(committee[i], t.slot_party(slot));
             }
         }
+    }
+
+    #[test]
+    fn leaf_takeover_targets_leaf_committee() {
+        use pba_net::corruption::CorruptionPlan;
+        let t = tree(128, 2);
+        let leaf = 3;
+        let plan = t.leaf_takeover(leaf, 4);
+        let CorruptionPlan::Explicit(set) = &plan else {
+            panic!("takeover plan must be explicit");
+        };
+        assert!(!set.is_empty());
+        assert!(set.len() <= 4);
+        let committee: std::collections::BTreeSet<PartyId> =
+            t.committee(0, leaf).iter().copied().collect();
+        assert!(
+            set.iter().all(|p| committee.contains(p)),
+            "takeover corrupted a party outside the leaf committee"
+        );
+        // Uncapped: every distinct committee member.
+        let full = t.leaf_takeover(leaf, usize::MAX);
+        let CorruptionPlan::Explicit(full_set) = &full else {
+            panic!("takeover plan must be explicit");
+        };
+        assert_eq!(full_set, &committee);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! The chaos sweep engine: drives `π_ba` through a matrix of
+//! fault-injection strategies × corruption placements × network sizes and
+//! classifies every outcome.
+//!
+//! The invariants checked per case:
+//!
+//! * **no honest-side panic** — any panic escaping the protocol is a
+//!   [`ChaosVerdict::Violation`];
+//! * **agreement + validity on completion** — a run that completes with
+//!   honest parties disagreeing (or violating unanimous-input validity)
+//!   is a violation;
+//! * **graceful degradation** — runs past the design fault bound (or
+//!   jammed by the adversary) must end as structured
+//!   [`RunOutcome::Failed`] values, classified here as
+//!   [`ChaosVerdict::Degraded`].
+//!
+//! Every case carries its exact seed and configuration;
+//! [`ChaosCase::repro`] prints a one-line recipe that reproduces the run
+//! bit-for-bit.
+
+use pba_aetree::params::TreeParams;
+use pba_aetree::tree::Tree;
+use pba_core::protocol::{
+    try_run_ba, AdversaryProfile, BaConfig, Establishment, ProtocolError, ProtocolPhase, RunOutcome,
+};
+use pba_net::corruption::{max_corruptions, CorruptionPlan};
+use pba_net::faults::{GarbleMode, StrategySpec};
+use pba_srds::snark::SnarkSrds;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One cell of the sweep matrix.
+#[derive(Clone, Debug)]
+pub struct ChaosCase {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption placement.
+    pub plan: CorruptionPlan,
+    /// Fault-injection strategy.
+    pub spec: StrategySpec,
+    /// Execution seed (drives the whole run, adversary included).
+    pub seed: Vec<u8>,
+}
+
+impl ChaosCase {
+    /// A single line that fully reproduces this case.
+    pub fn repro(&self) -> String {
+        let seed_hex: String = self.seed.iter().map(|b| format!("{b:02x}")).collect();
+        format!(
+            "CHAOS-REPRO n={} plan={} spec={} seed=0x{} spec_debug={:?} plan_debug={:?}",
+            self.n,
+            self.plan.label(),
+            self.spec.label(),
+            seed_hex,
+            self.spec,
+            self.plan,
+        )
+    }
+
+    /// True when this case stays strictly below the `n/3` design bound
+    /// (so the protocol is *required* to complete with agreement).
+    pub fn honest_majority(&self) -> bool {
+        let t = match &self.plan {
+            CorruptionPlan::None => 0,
+            CorruptionPlan::Random { t }
+            | CorruptionPlan::Prefix { t }
+            | CorruptionPlan::Suffix { t }
+            | CorruptionPlan::Stride { t, .. } => *t,
+            CorruptionPlan::Explicit(set) => set.len(),
+        };
+        3 * t < self.n
+    }
+}
+
+/// Classification of one chaos run.
+#[derive(Clone, Debug)]
+pub enum ChaosVerdict {
+    /// The protocol completed with agreement and validity intact.
+    Agreed {
+        /// The common honest output.
+        output: Option<u8>,
+        /// Max per-honest-party bytes (flood-resistance signal).
+        max_bytes_per_party: u64,
+    },
+    /// The protocol stopped with a structured failure — the graceful
+    /// path for runs past the fault bound or jammed sub-protocols.
+    Degraded {
+        /// The phase that failed.
+        phase: ProtocolPhase,
+        /// The structured reason.
+        reason: ProtocolError,
+    },
+    /// An invariant was broken: honest-side panic, disagreement, or a
+    /// validity violation. `detail` explains which; the case's
+    /// [`ChaosCase::repro`] line reproduces it.
+    Violation {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl ChaosVerdict {
+    /// True for [`ChaosVerdict::Violation`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, ChaosVerdict::Violation { .. })
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            ChaosVerdict::Agreed { output, .. } => format!("agreed({output:?})"),
+            ChaosVerdict::Degraded { phase, .. } => format!("degraded({phase})"),
+            ChaosVerdict::Violation { .. } => "VIOLATION".into(),
+        }
+    }
+}
+
+/// A case together with its verdict.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The executed case.
+    pub case: ChaosCase,
+    /// Its classification.
+    pub verdict: ChaosVerdict,
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one case with the SNARK-based SRDS (the cheaper scheme) on
+/// unanimous input `1` and classifies the outcome.
+pub fn run_case(case: &ChaosCase) -> ChaosVerdict {
+    let config = BaConfig {
+        n: case.n,
+        z: 2,
+        corruption: case.plan.clone(),
+        profile: AdversaryProfile::Byzantine,
+        seed: case.seed.clone(),
+        establishment: Establishment::Charged,
+        chaos: Some(case.spec.clone()),
+    };
+    let inputs = vec![1u8; case.n];
+    let scheme = SnarkSrds::with_defaults();
+    let run = catch_unwind(AssertUnwindSafe(|| try_run_ba(&scheme, &config, &inputs)));
+    match run {
+        Err(payload) => ChaosVerdict::Violation {
+            detail: format!("honest-side panic: {}", panic_detail(payload)),
+        },
+        Ok(RunOutcome::Failed { phase, reason }) => {
+            if case.honest_majority() && matches!(reason, ProtocolError::CorruptionBound { .. }) {
+                // An under-bound plan must never trip the bound check.
+                ChaosVerdict::Violation {
+                    detail: format!("spurious corruption-bound failure: {reason}"),
+                }
+            } else {
+                ChaosVerdict::Degraded { phase, reason }
+            }
+        }
+        Ok(RunOutcome::Completed(out)) => {
+            if !out.agreement {
+                ChaosVerdict::Violation {
+                    detail: format!("honest disagreement: outputs {:?}", out.outputs),
+                }
+            } else if !out.validity {
+                ChaosVerdict::Violation {
+                    detail: format!("validity broken: output {:?} on unanimous 1", out.output),
+                }
+            } else {
+                ChaosVerdict::Agreed {
+                    output: out.output,
+                    max_bytes_per_party: out.report.max_bytes_per_party,
+                }
+            }
+        }
+    }
+}
+
+/// The committee-takeover corruption plan for the tree this case's seed
+/// will build: corrupt (up to the fault bound) the distinct members of
+/// leaf 0's committee.
+pub fn takeover_plan(n: usize, seed: &[u8]) -> CorruptionPlan {
+    let params = TreeParams::scaled(n, 2);
+    // Mirror Session::establish's tree derivation exactly.
+    let mut tree_seed = seed.to_vec();
+    tree_seed.extend_from_slice(b"/ae-tree");
+    let tree = Tree::build(&params, &tree_seed);
+    tree.leaf_takeover(0, (n - 1) / 3)
+}
+
+fn case_seed(base: &[u8], n: usize, plan: &CorruptionPlan, spec: &StrategySpec) -> Vec<u8> {
+    let mut seed = base.to_vec();
+    seed.extend_from_slice(format!("/{n}/{}/{}", plan.label(), spec.label()).as_bytes());
+    seed
+}
+
+/// The default sweep matrix: ≥ 20 strategy × placement × size combos,
+/// including structured placements (suffix/stride), a committee takeover
+/// of an a.e.-tree leaf, and over-bound plans that must degrade
+/// gracefully.
+pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
+    let mut cases = Vec::new();
+
+    // Full strategy catalogue at n = 48 against a light random placement
+    // (agreement expected despite active faults) and the leaf-committee
+    // takeover (an aggressive placement that may stall — gracefully).
+    let n = 48;
+    let t = max_corruptions(n, 0.10).max(1);
+    for spec in StrategySpec::catalogue() {
+        for plan in [
+            CorruptionPlan::Random { t },
+            takeover_plan(n, &case_seed(base_seed, n, &CorruptionPlan::None, &spec)),
+        ] {
+            let seed = case_seed(base_seed, n, &plan, &spec);
+            cases.push(ChaosCase {
+                n,
+                plan,
+                spec: spec.clone(),
+                seed,
+            });
+        }
+    }
+
+    // A lighter cross at n = 64 stressing the structured placements.
+    let n = 64;
+    let t = max_corruptions(n, 0.25).max(1);
+    for spec in [
+        StrategySpec::Equivocate,
+        StrategySpec::Garble(GarbleMode::Both),
+        StrategySpec::Flood {
+            victim: None,
+            payload_len: 512,
+            per_round: 8,
+        },
+        StrategySpec::Compose(vec![
+            StrategySpec::Equivocate,
+            StrategySpec::Replay { per_round: 2 },
+        ]),
+    ] {
+        for plan in [
+            CorruptionPlan::Suffix { t },
+            CorruptionPlan::Stride {
+                t,
+                step: 3,
+                offset: 1,
+            },
+        ] {
+            let seed = case_seed(base_seed, n, &plan, &spec);
+            cases.push(ChaosCase {
+                n,
+                plan,
+                spec: spec.clone(),
+                seed,
+            });
+        }
+    }
+
+    // Over-bound plans: the protocol must fail gracefully, never panic.
+    let n = 48;
+    for spec in [StrategySpec::Silent, StrategySpec::Equivocate] {
+        let plan = CorruptionPlan::Random { t: n / 3 };
+        let seed = case_seed(base_seed, n, &plan, &spec);
+        cases.push(ChaosCase {
+            n,
+            plan,
+            spec,
+            seed,
+        });
+    }
+
+    cases
+}
+
+/// Runs every case and returns the reports, in order.
+pub fn run_sweep(cases: &[ChaosCase]) -> Vec<ChaosReport> {
+    cases
+        .iter()
+        .map(|case| ChaosReport {
+            case: case.clone(),
+            verdict: run_case(case),
+        })
+        .collect()
+}
+
+/// Renders the sweep as an aligned text table with repro lines for every
+/// violation.
+pub fn render_sweep(reports: &[ChaosReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4}  {:<16}  {:<34}  {}\n",
+        "n", "plan", "strategy", "verdict"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:>4}  {:<16}  {:<34}  {}\n",
+            r.case.n,
+            r.case.plan.label(),
+            r.case.spec.label(),
+            r.verdict.label()
+        ));
+        if let ChaosVerdict::Violation { detail } = &r.verdict {
+            out.push_str(&format!("      !! {detail}\n      !! {}\n", r.case.repro()));
+        }
+    }
+    let violations = reports.iter().filter(|r| r.verdict.is_violation()).count();
+    let degraded = reports
+        .iter()
+        .filter(|r| matches!(r.verdict, ChaosVerdict::Degraded { .. }))
+        .count();
+    out.push_str(&format!(
+        "{} cases: {} agreed, {} degraded gracefully, {} violations\n",
+        reports.len(),
+        reports.len() - violations - degraded,
+        degraded,
+        violations
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_required_combos() {
+        let cases = default_cases(b"chaos-unit");
+        assert!(cases.len() >= 20, "only {} combos", cases.len());
+        // Strategy diversity.
+        let specs: std::collections::BTreeSet<String> =
+            cases.iter().map(|c| c.spec.label()).collect();
+        assert!(specs.len() >= 8, "only {} distinct strategies", specs.len());
+        // Placement diversity, including a takeover (explicit) plan.
+        let plans: std::collections::BTreeSet<String> =
+            cases.iter().map(|c| c.plan.label()).collect();
+        assert!(plans.len() >= 4, "only {} distinct plans", plans.len());
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.plan, CorruptionPlan::Explicit(_))));
+        // Size diversity and over-bound coverage.
+        let sizes: std::collections::BTreeSet<usize> = cases.iter().map(|c| c.n).collect();
+        assert!(sizes.len() >= 2);
+        assert!(cases.iter().any(|c| !c.honest_majority()));
+    }
+
+    #[test]
+    fn takeover_plan_is_under_bound_and_deterministic() {
+        let p1 = takeover_plan(48, b"s");
+        let p2 = takeover_plan(48, b"s");
+        assert_eq!(p1, p2);
+        let CorruptionPlan::Explicit(set) = &p1 else {
+            panic!("takeover must be explicit")
+        };
+        assert!(!set.is_empty());
+        assert!(3 * set.len() < 48);
+    }
+
+    #[test]
+    fn over_bound_case_degrades() {
+        let case = ChaosCase {
+            n: 48,
+            plan: CorruptionPlan::Random { t: 16 },
+            spec: StrategySpec::Silent,
+            seed: b"chaos-over".to_vec(),
+        };
+        match run_case(&case) {
+            ChaosVerdict::Degraded { phase, .. } => {
+                assert_eq!(phase, ProtocolPhase::Establishment)
+            }
+            other => panic!("expected graceful degradation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repro_line_is_complete() {
+        let case = ChaosCase {
+            n: 48,
+            plan: CorruptionPlan::Suffix { t: 4 },
+            spec: StrategySpec::Garble(GarbleMode::Truncate),
+            seed: vec![0xab, 0xcd],
+        };
+        let line = case.repro();
+        assert!(line.contains("n=48"));
+        assert!(line.contains("suffix-4"));
+        assert!(line.contains("garble-truncate"));
+        assert!(line.contains("seed=0xabcd"));
+    }
+}

@@ -11,7 +11,12 @@
 //!   exponents;
 //! * **Figures 1–3 and the corollaries**
 //!   (`cargo run -p pba-bench --bin figures --release -- <fig1|fig2|fig3|cor12|lb>`);
+//! * **the chaos sweep** (`cargo run -p pba-bench --bin chaos --release`)
+//!   — fault-injection strategies × corruption placements × sizes, with
+//!   agreement/validity invariants checked per case (see [`chaos`]);
 //! * criterion micro/macro benches under `benches/`.
+
+pub mod chaos;
 
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};
 use pba_core::protocol::{run_ba, BaConfig};

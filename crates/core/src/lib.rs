@@ -31,4 +31,7 @@ pub mod protocol;
 pub mod vss_coin;
 
 pub use broadcast::{run_broadcasts, BroadcastOutcome};
-pub use protocol::{run_ba, AdversaryProfile, BaConfig, BaOutcome, Session};
+pub use protocol::{
+    run_ba, try_run_ba, AdversaryProfile, BaConfig, BaOutcome, ProtocolError, ProtocolPhase,
+    RunOutcome, Session,
+};

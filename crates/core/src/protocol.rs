@@ -34,10 +34,12 @@ use pba_crypto::prf::SubsetPrf;
 use pba_crypto::prg::Prg;
 use pba_crypto::sha256::Digest;
 use pba_net::corruption::CorruptionPlan;
+use pba_net::faults::StrategySpec;
 use pba_net::runner::{run_phase, AdvSender, Adversary};
 use pba_net::{Envelope, Machine, Network, PartyId, Report};
 use pba_srds::traits::Srds;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// How the `f_ae-comm` tree is established.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +79,11 @@ pub struct BaConfig {
     pub seed: Vec<u8>,
     /// How the communication tree is established.
     pub establishment: Establishment,
+    /// Optional fault-injection strategy for the committee sub-protocols.
+    /// When set, it replaces the [`AdversaryProfile`]-derived committee
+    /// adversary (the profile still governs dissemination/aggregation
+    /// misbehaviour). Built deterministically from the execution seed.
+    pub chaos: Option<StrategySpec>,
 }
 
 impl BaConfig {
@@ -89,6 +96,7 @@ impl BaConfig {
             profile: AdversaryProfile::Passive,
             seed: seed.to_vec(),
             establishment: Establishment::Charged,
+            chaos: None,
         }
     }
 
@@ -101,7 +109,146 @@ impl BaConfig {
             profile: AdversaryProfile::Byzantine,
             seed: seed.to_vec(),
             establishment: Establishment::Charged,
+            chaos: None,
         }
+    }
+}
+
+/// The phase of `π_ba` a failure is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtocolPhase {
+    /// Session establishment (setup, corruption, `f_ae-comm`).
+    Establishment,
+    /// Step 2a: `f_ba` among the supreme committee.
+    CommitteeBa,
+    /// Step 2b: `f_ct` among the supreme committee.
+    CommitteeCoin,
+    /// Steps 3–8: certification and spread.
+    Certification,
+}
+
+impl fmt::Display for ProtocolPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolPhase::Establishment => "establishment",
+            ProtocolPhase::CommitteeBa => "committee-ba",
+            ProtocolPhase::CommitteeCoin => "committee-coin",
+            ProtocolPhase::Certification => "certification",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a `π_ba` execution could not complete.
+///
+/// These conditions were previously mid-run panics; they are now
+/// structured outcomes so chaos harnesses can drive the protocol past its
+/// design fault bound and observe *graceful* failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The corruption plan produced `corrupt >= n/3` parties.
+    CorruptionBound {
+        /// Number of corrupted parties.
+        corrupt: usize,
+        /// Total parties.
+        n: usize,
+    },
+    /// A sub-protocol hit its round limit without all honest machines
+    /// completing.
+    Timeout {
+        /// The phase that timed out.
+        phase: ProtocolPhase,
+        /// Rounds executed before giving up.
+        rounds: u64,
+    },
+    /// Honest committee members finished with differing values (or none).
+    Disagreement {
+        /// The phase that disagreed.
+        phase: ProtocolPhase,
+        /// Number of distinct honest output values observed.
+        distinct: usize,
+    },
+    /// A phase ended without delivering output to every honest party,
+    /// but the parties that *did* receive output all agree — a liveness
+    /// loss with safety intact (e.g., a fault-injection adversary jammed
+    /// certificate aggregation so `σ_root` never formed).
+    Stalled {
+        /// The phase that stalled.
+        phase: ProtocolPhase,
+        /// Honest parties that obtained an output.
+        delivered: usize,
+        /// Total honest parties.
+        honest: usize,
+    },
+}
+
+impl ProtocolError {
+    /// The phase this error is attributed to.
+    pub fn phase(&self) -> ProtocolPhase {
+        match self {
+            ProtocolError::CorruptionBound { .. } => ProtocolPhase::Establishment,
+            ProtocolError::Timeout { phase, .. } => *phase,
+            ProtocolError::Disagreement { phase, .. } => *phase,
+            ProtocolError::Stalled { phase, .. } => *phase,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::CorruptionBound { corrupt, n } => {
+                write!(f, "corruption {corrupt} not below n/3 = {}", n / 3)
+            }
+            ProtocolError::Timeout { phase, rounds } => {
+                write!(f, "{phase} hit its round limit after {rounds} rounds")
+            }
+            ProtocolError::Disagreement { phase, distinct } => {
+                write!(f, "{phase} ended with {distinct} distinct honest values")
+            }
+            ProtocolError::Stalled {
+                phase,
+                delivered,
+                honest,
+            } => {
+                write!(
+                    f,
+                    "{phase} stalled: only {delivered} of {honest} honest parties obtained output"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Outcome of a fallible `π_ba` execution ([`try_run_ba`]).
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The protocol ran to completion (agreement/validity flags inside may
+    /// still be false — that distinction is the harness's to judge).
+    Completed(BaOutcome),
+    /// The protocol detected an unrecoverable condition and stopped.
+    Failed {
+        /// The phase that failed.
+        phase: ProtocolPhase,
+        /// The structured reason.
+        reason: ProtocolError,
+    },
+}
+
+impl RunOutcome {
+    /// The completed outcome, if any.
+    pub fn completed(&self) -> Option<&BaOutcome> {
+        match self {
+            RunOutcome::Completed(out) => Some(out),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True when the execution ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed(_))
     }
 }
 
@@ -243,8 +390,19 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if the corruption plan reaches `n/3`.
+    /// Panics if the corruption plan reaches `n/3`. Use
+    /// [`Session::try_establish`] for a fallible variant.
     pub fn establish(scheme: &'a S, config: &BaConfig) -> Self {
+        match Self::try_establish(scheme, config) {
+            Ok(session) => session,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible establishment: returns
+    /// [`ProtocolError::CorruptionBound`] instead of panicking when the
+    /// corruption plan reaches `n/3`.
+    pub fn try_establish(scheme: &'a S, config: &BaConfig) -> Result<Self, ProtocolError> {
         let params = TreeParams::scaled(config.n, config.z);
         let n = config.n;
         let total_slots = params.total_slots();
@@ -270,12 +428,12 @@ where
         let corrupt = config
             .corruption
             .materialize(n, &mut prg.child("corrupt", 0));
-        assert!(
-            3 * corrupt.len() < n,
-            "corruption {} not below n/3 = {}",
-            corrupt.len(),
-            n / 3
-        );
+        if 3 * corrupt.len() >= n {
+            return Err(ProtocolError::CorruptionBound {
+                corrupt: corrupt.len(),
+                n,
+            });
+        }
         let honest: Vec<PartyId> = (0..n as u64)
             .map(PartyId)
             .filter(|p| !corrupt.contains(p))
@@ -343,7 +501,7 @@ where
             epoch: 0,
         };
         session.snap("1:ae-comm-establish");
-        session
+        Ok(session)
     }
 
     /// The supreme committee.
@@ -401,6 +559,13 @@ where
     }
 
     fn committee_adversary(&self, committee: &[PartyId]) -> Box<dyn Adversary> {
+        if let Some(spec) = &self.config.chaos {
+            return spec.build(
+                self.corrupt.clone(),
+                self.config.n,
+                &self.prg.child("chaos", self.epoch),
+            );
+        }
         match self.config.profile {
             AdversaryProfile::Passive => Box::new(SilentCommittee {
                 corrupted: self.corrupt.clone(),
@@ -417,8 +582,23 @@ where
     /// # Panics
     ///
     /// Panics if honest committee members fail to agree (impossible below
-    /// the fault bound).
+    /// the fault bound). Use [`Session::try_committee_ba`] for a fallible
+    /// variant.
     pub fn committee_ba(&mut self, committee_inputs: &BTreeMap<PartyId, u8>) -> u8 {
+        match self.try_committee_ba(committee_inputs) {
+            Ok(y) => y,
+            Err(e) => panic!("supreme committee BA failed: {e}"),
+        }
+    }
+
+    /// Fallible step 2a: phase-king under the session's committee
+    /// adversary, with the phase round limit surfaced as
+    /// [`ProtocolError::Timeout`] and honest divergence as
+    /// [`ProtocolError::Disagreement`].
+    pub fn try_committee_ba(
+        &mut self,
+        committee_inputs: &BTreeMap<PartyId, u8>,
+    ) -> Result<u8, ProtocolError> {
         let supreme = self.supreme_committee();
         let mut adversary = self.committee_adversary(&supreme);
         let mut machines: BTreeMap<PartyId, PhaseKing<u8>> = supreme
@@ -429,7 +609,7 @@ where
                 (p, PhaseKing::new(supreme.clone(), p, input))
             })
             .collect();
-        {
+        let outcome = {
             let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
                 .iter_mut()
                 .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
@@ -439,22 +619,43 @@ where
                 &mut erased,
                 adversary.as_mut(),
                 rounds_for(supreme.len()) + 6,
-            );
+            )
+        };
+        if !outcome.completed {
+            return Err(ProtocolError::Timeout {
+                phase: ProtocolPhase::CommitteeBa,
+                rounds: outcome.rounds,
+            });
         }
         let values: BTreeSet<u8> = machines
             .values()
             .filter_map(|m| m.output().copied())
             .collect();
-        assert_eq!(values.len(), 1, "supreme committee BA failed: {values:?}");
-        *values.iter().next().expect("nonempty")
+        if values.len() != 1 {
+            return Err(ProtocolError::Disagreement {
+                phase: ProtocolPhase::CommitteeBa,
+                distinct: values.len(),
+            });
+        }
+        Ok(*values.iter().next().expect("nonempty"))
     }
 
     /// Step 2b: `f_ct` among the supreme committee.
     ///
     /// # Panics
     ///
-    /// Panics if honest members fail to agree on the seed.
+    /// Panics if honest members fail to agree on the seed. Use
+    /// [`Session::try_committee_coin`] for a fallible variant.
     pub fn committee_coin(&mut self) -> Digest {
+        match self.try_committee_coin() {
+            Ok(s) => s,
+            Err(e) => panic!("coin tossing failed: {e}"),
+        }
+    }
+
+    /// Fallible step 2b: commit–echo–reveal coin toss, with honest seed
+    /// divergence surfaced as [`ProtocolError::Disagreement`].
+    pub fn try_committee_coin(&mut self) -> Result<Digest, ProtocolError> {
         let supreme = self.supreme_committee();
         let mut adversary = self.committee_adversary(&supreme);
         let epoch = self.epoch;
@@ -465,8 +666,13 @@ where
             &mut self.prg.child("coin", epoch),
         );
         let values: BTreeSet<Digest> = seeds.values().copied().collect();
-        assert_eq!(values.len(), 1, "coin tossing failed");
-        *values.iter().next().expect("nonempty")
+        if values.len() != 1 {
+            return Err(ProtocolError::Disagreement {
+                phase: ProtocolPhase::CommitteeCoin,
+                distinct: values.len(),
+            });
+        }
+        Ok(*values.iter().next().expect("nonempty"))
     }
 
     /// Steps 3–8 for an already-agreed `(y, s)`: certified dissemination,
@@ -710,11 +916,29 @@ where
     }
 
     /// One full certified round: `f_ba` + `f_ct` + certify-and-spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either committee sub-protocol fails; use
+    /// [`Session::try_certified_round`] for a fallible variant.
     pub fn certified_round(&mut self, committee_inputs: &BTreeMap<PartyId, u8>) -> RoundOutcome {
         let y = self.committee_ba(committee_inputs);
         let s = self.committee_coin();
         self.snap("2:committee-ba+coin");
         self.certify_and_spread(y, s)
+    }
+
+    /// Fallible certified round: any committee-phase failure is returned
+    /// as a [`ProtocolError`] instead of panicking, leaving the session
+    /// reusable (metrics intact, epoch advanced only on success).
+    pub fn try_certified_round(
+        &mut self,
+        committee_inputs: &BTreeMap<PartyId, u8>,
+    ) -> Result<RoundOutcome, ProtocolError> {
+        let y = self.try_committee_ba(committee_inputs)?;
+        let s = self.try_committee_coin()?;
+        self.snap("2:committee-ba+coin");
+        Ok(self.certify_and_spread(y, s))
     }
 
     fn node_aggregate(
@@ -774,26 +998,79 @@ fn dedup_committee(members: &[PartyId]) -> Vec<PartyId> {
 /// # Panics
 ///
 /// Panics if `inputs.len() != config.n` or the configuration is internally
-/// inconsistent (e.g. more corruptions than parties).
+/// inconsistent (e.g. more corruptions than parties). Use [`try_run_ba`]
+/// for a variant that reports such failures as [`RunOutcome::Failed`].
 pub fn run_ba<S>(scheme: &S, config: &BaConfig, inputs: &[u8]) -> BaOutcome
 where
     S: Srds,
     S::Signature: Encode + Decode,
 {
+    match try_run_ba(scheme, config, inputs) {
+        RunOutcome::Completed(out) => out,
+        RunOutcome::Failed { phase, reason } => panic!("pi_ba failed in {phase}: {reason}"),
+    }
+}
+
+/// Runs `π_ba`, reporting protocol-level failures (corruption past the
+/// design bound, committee timeouts, honest divergence) as structured
+/// [`RunOutcome::Failed`] values instead of panicking — the entry point
+/// for fault-injection harnesses that deliberately exceed fault bounds.
+///
+/// # Panics
+///
+/// Panics only on caller errors (`inputs.len() != config.n`).
+pub fn try_run_ba<S>(scheme: &S, config: &BaConfig, inputs: &[u8]) -> RunOutcome
+where
+    S: Srds,
+    S::Signature: Encode + Decode,
+{
     assert_eq!(inputs.len(), config.n, "one input per party");
-    let mut session = Session::establish(scheme, config);
+    let mut session = match Session::try_establish(scheme, config) {
+        Ok(session) => session,
+        Err(reason) => {
+            return RunOutcome::Failed {
+                phase: reason.phase(),
+                reason,
+            }
+        }
+    };
     let committee_inputs: BTreeMap<PartyId, u8> = session
         .supreme_committee()
         .iter()
         .map(|&p| (p, inputs[p.index()]))
         .collect();
-    let round = session.certified_round(&committee_inputs);
+    let round = match session.try_certified_round(&committee_inputs) {
+        Ok(round) => round,
+        Err(reason) => {
+            return RunOutcome::Failed {
+                phase: reason.phase(),
+                reason,
+            }
+        }
+    };
 
     let honest_outputs: Vec<Option<u8>> = session
         .honest()
         .iter()
         .map(|p| round.outputs[p.index()])
         .collect();
+    // Undelivered outputs with no conflicting delivered values are a
+    // liveness stall, not a safety breach: report them as a structured
+    // certification failure. Conflicting delivered values fall through to
+    // `Completed` with `agreement = false` so harnesses see the safety
+    // violation itself.
+    let delivered: BTreeSet<u8> = honest_outputs.iter().flatten().copied().collect();
+    if honest_outputs.iter().any(|o| o.is_none()) && delivered.len() <= 1 {
+        let reason = ProtocolError::Stalled {
+            phase: ProtocolPhase::Certification,
+            delivered: honest_outputs.iter().flatten().count(),
+            honest: honest_outputs.len(),
+        };
+        return RunOutcome::Failed {
+            phase: reason.phase(),
+            reason,
+        };
+    }
     let agreement = honest_outputs.iter().all(|o| o.is_some())
         && honest_outputs.windows(2).all(|w| w[0] == w[1]);
     let output = if agreement {
@@ -811,7 +1088,7 @@ where
         None => true,
     };
 
-    BaOutcome {
+    RunOutcome::Completed(BaOutcome {
         outputs: round.outputs,
         agreement,
         output,
@@ -820,7 +1097,7 @@ where
         steps: session.steps().to_vec(),
         corrupt: session.corrupt().clone(),
         certificate_len: round.certificate_len,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -916,6 +1193,79 @@ mod tests {
         assert_eq!(out.output, Some(1));
         // The election really cost something.
         assert!(out.steps[0].total_bytes > 0);
+    }
+
+    #[test]
+    fn over_bound_corruption_fails_gracefully() {
+        let scheme = OwfSrds::with_defaults();
+        let mut config = BaConfig::byzantine(48, 16, b"ba-over-bound");
+        config.corruption = CorruptionPlan::Random { t: 16 }; // 3*16 = 48
+        let out = try_run_ba(&scheme, &config, &[1u8; 48]);
+        match out {
+            RunOutcome::Failed { phase, reason } => {
+                assert_eq!(phase, ProtocolPhase::Establishment);
+                assert_eq!(
+                    reason,
+                    ProtocolError::CorruptionBound { corrupt: 16, n: 48 }
+                );
+            }
+            RunOutcome::Completed(_) => panic!("over-bound run completed"),
+        }
+    }
+
+    #[test]
+    fn try_run_matches_run_on_honest_config() {
+        let scheme = OwfSrds::with_defaults();
+        let config = BaConfig::honest(64, b"ba-try-honest");
+        let out = try_run_ba(&scheme, &config, &[1u8; 64]);
+        let completed = out.completed().expect("honest run must complete");
+        assert!(completed.agreement);
+        assert_eq!(completed.output, Some(1));
+    }
+
+    #[test]
+    fn chaos_strategy_hook_drives_committee_adversary() {
+        use pba_net::faults::StrategySpec;
+        let scheme = SnarkSrds::with_defaults();
+        let mut config = BaConfig::byzantine(96, 9, b"ba-chaos-hook");
+        config.chaos = Some(StrategySpec::Equivocate);
+        let out = try_run_ba(&scheme, &config, &[1u8; 96]);
+        // Below the fault bound the protocol must still complete and agree
+        // under pure equivocation.
+        let completed = out.completed().expect("equivocation under bound");
+        assert!(completed.agreement, "outputs: {:?}", completed.outputs);
+        assert_eq!(completed.output, Some(1));
+    }
+
+    #[test]
+    fn protocol_error_display_is_structured() {
+        let e = ProtocolError::Timeout {
+            phase: ProtocolPhase::CommitteeBa,
+            rounds: 40,
+        };
+        assert_eq!(e.phase(), ProtocolPhase::CommitteeBa);
+        assert_eq!(
+            e.to_string(),
+            "committee-ba hit its round limit after 40 rounds"
+        );
+        let d = ProtocolError::Disagreement {
+            phase: ProtocolPhase::CommitteeCoin,
+            distinct: 3,
+        };
+        assert_eq!(
+            d.to_string(),
+            "committee-coin ended with 3 distinct honest values"
+        );
+        let s = ProtocolError::Stalled {
+            phase: ProtocolPhase::Certification,
+            delivered: 7,
+            honest: 40,
+        };
+        assert_eq!(s.phase(), ProtocolPhase::Certification);
+        assert_eq!(
+            s.to_string(),
+            "certification stalled: only 7 of 40 honest parties obtained output"
+        );
     }
 
     #[test]

@@ -28,6 +28,23 @@ pub enum CorruptionPlan {
         /// Number of parties to corrupt.
         t: usize,
     },
+    /// The last `t` parties — the mirror of [`CorruptionPlan::Prefix`],
+    /// stressing the high end of index-range logic.
+    Suffix {
+        /// Number of parties to corrupt.
+        t: usize,
+    },
+    /// Every `step`-th party starting at `offset`, up to `t` parties —
+    /// a structured placement spreading corruption evenly across leaves
+    /// (the complement of the contiguous placements).
+    Stride {
+        /// Number of parties to corrupt.
+        t: usize,
+        /// Distance between corrupted indices (≥ 1).
+        step: usize,
+        /// First corrupted index.
+        offset: usize,
+    },
 }
 
 impl CorruptionPlan {
@@ -53,6 +70,39 @@ impl CorruptionPlan {
             CorruptionPlan::Prefix { t } => {
                 assert!(*t <= n, "cannot corrupt {t} of {n}");
                 (0..*t as u64).map(PartyId).collect()
+            }
+            CorruptionPlan::Suffix { t } => {
+                assert!(*t <= n, "cannot corrupt {t} of {n}");
+                ((n - t) as u64..n as u64).map(PartyId).collect()
+            }
+            CorruptionPlan::Stride { t, step, offset } => {
+                assert!(*step >= 1, "stride step must be >= 1");
+                assert!(*t <= n, "cannot corrupt {t} of {n}");
+                let set: BTreeSet<PartyId> = (*offset..n)
+                    .step_by(*step)
+                    .take(*t)
+                    .map(|i| PartyId(i as u64))
+                    .collect();
+                assert!(
+                    set.len() == *t,
+                    "stride (step {step}, offset {offset}) yields only {} of {t} in [0,{n})",
+                    set.len()
+                );
+                set
+            }
+        }
+    }
+
+    /// A short stable label for sweep tables and repro lines.
+    pub fn label(&self) -> String {
+        match self {
+            CorruptionPlan::None => "none".into(),
+            CorruptionPlan::Random { t } => format!("random-{t}"),
+            CorruptionPlan::Explicit(set) => format!("explicit-{}", set.len()),
+            CorruptionPlan::Prefix { t } => format!("prefix-{t}"),
+            CorruptionPlan::Suffix { t } => format!("suffix-{t}"),
+            CorruptionPlan::Stride { t, step, offset } => {
+                format!("stride-{t}x{step}+{offset}")
             }
         }
     }
@@ -108,6 +158,54 @@ mod tests {
     fn explicit_out_of_range_panics() {
         let mut prg = Prg::from_seed_bytes(b"c");
         CorruptionPlan::Explicit([PartyId(10)].into()).materialize(10, &mut prg);
+    }
+
+    #[test]
+    fn suffix_plan() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let set = CorruptionPlan::Suffix { t: 3 }.materialize(10, &mut prg);
+        assert_eq!(set, [PartyId(7), PartyId(8), PartyId(9)].into());
+    }
+
+    #[test]
+    fn stride_plan() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        let set = CorruptionPlan::Stride {
+            t: 3,
+            step: 4,
+            offset: 1,
+        }
+        .materialize(12, &mut prg);
+        assert_eq!(set, [PartyId(1), PartyId(5), PartyId(9)].into());
+    }
+
+    #[test]
+    #[should_panic(expected = "yields only")]
+    fn stride_overflow_panics() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        CorruptionPlan::Stride {
+            t: 5,
+            step: 4,
+            offset: 0,
+        }
+        .materialize(10, &mut prg);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let plans = [
+            CorruptionPlan::None,
+            CorruptionPlan::Random { t: 3 },
+            CorruptionPlan::Prefix { t: 3 },
+            CorruptionPlan::Suffix { t: 3 },
+            CorruptionPlan::Stride {
+                t: 3,
+                step: 2,
+                offset: 0,
+            },
+        ];
+        let labels: BTreeSet<String> = plans.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), plans.len());
     }
 
     #[test]

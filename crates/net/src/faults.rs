@@ -1,0 +1,888 @@
+//! Composable Byzantine fault-injection strategies.
+//!
+//! Every strategy here implements [`Adversary`] and is driven by a
+//! [`Prg`], so a failing chaos configuration replays bit-for-bit from its
+//! seed. Strategies compose: [`Composed`] runs several side by side over a
+//! partition of the corrupt set, [`Schedule`] switches strategies per
+//! round window, and [`CrashAt`] silences any inner strategy mid-phase.
+//!
+//! Two layers of API:
+//!
+//! * the concrete combinators ([`Equivocator`], [`Garbler`], [`Replayer`],
+//!   [`Flooder`], [`CrashAt`], [`Composed`], [`Schedule`]) for
+//!   hand-assembled attacks;
+//! * the declarative [`StrategySpec`] — a cloneable, printable description
+//!   that [`StrategySpec::build`]s the combinator tree. Harnesses sweep
+//!   over specs, and a violation report prints the spec + seed as the
+//!   complete reproduction recipe.
+
+use crate::envelope::{Envelope, PartyId};
+use crate::runner::{AdvSender, Adversary, SilentAdversary};
+use pba_crypto::prg::Prg;
+use rand::RngCore;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Sends *different* payloads to different receivers from every corrupted
+/// party — the classic equivocation attack against committee broadcast
+/// steps.
+///
+/// Payloads come from a palette cycled by receiver index; with an empty
+/// palette, pseudorandom short payloads are drawn from the [`Prg`] (still
+/// distinct per receiver with overwhelming probability).
+#[derive(Debug)]
+pub struct Equivocator {
+    corrupted: BTreeSet<PartyId>,
+    palette: Vec<Vec<u8>>,
+    prg: Prg,
+}
+
+impl Equivocator {
+    /// Creates an equivocator with pseudorandom payloads.
+    pub fn new(corrupted: BTreeSet<PartyId>, prg: Prg) -> Self {
+        Equivocator {
+            corrupted,
+            palette: Vec::new(),
+            prg,
+        }
+    }
+
+    /// Creates an equivocator cycling through the given payload palette
+    /// (e.g. the two encodings of conflicting protocol values).
+    pub fn with_palette(corrupted: BTreeSet<PartyId>, palette: Vec<Vec<u8>>, prg: Prg) -> Self {
+        Equivocator {
+            corrupted,
+            palette,
+            prg,
+        }
+    }
+}
+
+impl Adversary for Equivocator {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: u64,
+        _rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        let n = sender.n() as u64;
+        let senders: Vec<PartyId> = self.corrupted.iter().copied().collect();
+        for bad in senders {
+            for to in (0..n).map(PartyId) {
+                if self.corrupted.contains(&to) {
+                    continue;
+                }
+                let payload = if self.palette.is_empty() {
+                    let len = 1 + self.prg.gen_range(16) as usize;
+                    let mut p = vec![0u8; len];
+                    self.prg.fill_bytes(&mut p);
+                    p
+                } else {
+                    self.palette[to.index() % self.palette.len()].clone()
+                };
+                sender.send_raw(bad, to, payload);
+            }
+        }
+    }
+}
+
+/// How [`Garbler`] mutates an intercepted payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GarbleMode {
+    /// Flip one pseudorandom bit (payload stays almost well-formed).
+    BitFlip,
+    /// Drop a pseudorandom suffix (stresses length/truncation checks).
+    Truncate,
+    /// Alternate between bit flips and truncations by round parity.
+    Both,
+}
+
+/// Intercepts the honest messages rushed to corrupted parties, mutates
+/// them (bit-flip / truncate), and forwards the mutants to honest
+/// receivers — *almost*-well-formed bytes that exercise every decode
+/// surface far more sharply than uniform noise.
+#[derive(Debug)]
+pub struct Garbler {
+    corrupted: BTreeSet<PartyId>,
+    mode: GarbleMode,
+    prg: Prg,
+}
+
+impl Garbler {
+    /// Creates a garbler with the given mutation mode.
+    pub fn new(corrupted: BTreeSet<PartyId>, mode: GarbleMode, prg: Prg) -> Self {
+        Garbler {
+            corrupted,
+            mode,
+            prg,
+        }
+    }
+
+    fn mutate(&mut self, payload: &[u8], round: u64) -> Vec<u8> {
+        let mut out = payload.to_vec();
+        if out.is_empty() {
+            return vec![self.prg.gen_range(256) as u8];
+        }
+        let flip = match self.mode {
+            GarbleMode::BitFlip => true,
+            GarbleMode::Truncate => false,
+            GarbleMode::Both => round.is_multiple_of(2),
+        };
+        if flip {
+            let byte = self.prg.gen_range(out.len() as u64) as usize;
+            let bit = self.prg.gen_range(8) as u8;
+            out[byte] ^= 1 << bit;
+        } else {
+            let keep = self.prg.gen_range(out.len() as u64) as usize;
+            out.truncate(keep);
+        }
+        out
+    }
+}
+
+impl Adversary for Garbler {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        let n = sender.n() as u64;
+        let intercepted: Vec<Envelope> = rushed.values().flatten().cloned().collect();
+        for env in intercepted {
+            // `rushed` keys are the corrupted receivers; the interceptor
+            // re-sends under its own (authenticated) identity.
+            let bad = env.to;
+            if !self.corrupted.contains(&bad) {
+                continue;
+            }
+            let mutant = self.mutate(&env.payload, round);
+            // Reflect the mutant back at the honest sender and at one
+            // pseudorandom other honest party.
+            sender.send_raw(bad, env.from, mutant.clone());
+            let other = PartyId(self.prg.gen_range(n));
+            if !self.corrupted.contains(&other) && other != env.from {
+                sender.send_raw(bad, other, mutant);
+            }
+        }
+    }
+}
+
+/// Records every payload rushed through corrupted parties and replays a
+/// pseudorandom sample of the backlog each later round — stale-state /
+/// cross-round replay attacks (epoch and freshness checks must hold).
+#[derive(Debug)]
+pub struct Replayer {
+    corrupted: BTreeSet<PartyId>,
+    backlog: Vec<Vec<u8>>,
+    per_round: usize,
+    prg: Prg,
+}
+
+impl Replayer {
+    /// Creates a replayer resending up to `per_round` stale payloads per
+    /// corrupted party per round.
+    pub fn new(corrupted: BTreeSet<PartyId>, per_round: usize, prg: Prg) -> Self {
+        Replayer {
+            corrupted,
+            backlog: Vec::new(),
+            per_round,
+            prg,
+        }
+    }
+}
+
+impl Adversary for Replayer {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        let honest: Vec<PartyId> = (0..sender.n() as u64)
+            .map(PartyId)
+            .filter(|p| !self.corrupted.contains(p))
+            .collect();
+        let senders: Vec<PartyId> = self.corrupted.iter().copied().collect();
+        for bad in senders {
+            for _ in 0..self.per_round {
+                if self.backlog.is_empty() || honest.is_empty() {
+                    break;
+                }
+                let idx = self.prg.gen_range(self.backlog.len() as u64) as usize;
+                let target = honest[self.prg.gen_range(honest.len() as u64) as usize];
+                sender.send_raw(bad, target, self.backlog[idx].clone());
+            }
+        }
+        // Record *after* replaying: payloads resurface in later rounds,
+        // never in the round they were first seen.
+        for env in rushed.values().flatten() {
+            self.backlog.push(env.payload.clone());
+        }
+        // Bound adversary memory.
+        if self.backlog.len() > 4096 {
+            let excess = self.backlog.len() - 4096;
+            self.backlog.drain(..excess);
+        }
+    }
+}
+
+/// Targeted bandwidth exhaustion: every corrupted party slams one honest
+/// victim with `per_round` payloads of `payload_len` bytes each round.
+/// Under dynamic filtering the victim must stay cheap — the chaos sweep
+/// asserts its *processed* bytes stay bounded.
+#[derive(Debug)]
+pub struct Flooder {
+    corrupted: BTreeSet<PartyId>,
+    victim: PartyId,
+    payload_len: usize,
+    per_round: usize,
+    prg: Prg,
+}
+
+impl Flooder {
+    /// Creates a flooder aimed at `victim`.
+    pub fn new(
+        corrupted: BTreeSet<PartyId>,
+        victim: PartyId,
+        payload_len: usize,
+        per_round: usize,
+        prg: Prg,
+    ) -> Self {
+        Flooder {
+            corrupted,
+            victim,
+            payload_len,
+            per_round,
+            prg,
+        }
+    }
+
+    /// The flooded party.
+    pub fn victim(&self) -> PartyId {
+        self.victim
+    }
+}
+
+impl Adversary for Flooder {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: u64,
+        _rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        if self.corrupted.contains(&self.victim) || self.victim.index() >= sender.n() {
+            return;
+        }
+        let senders: Vec<PartyId> = self.corrupted.iter().copied().collect();
+        for bad in senders {
+            for _ in 0..self.per_round {
+                let mut payload = vec![0u8; self.payload_len];
+                self.prg.fill_bytes(&mut payload);
+                sender.send_raw(bad, self.victim, payload);
+            }
+        }
+    }
+}
+
+/// Runs an inner strategy until round `round`, then the corrupted parties
+/// crash (fall permanently silent) — fail-stop mid-phase.
+#[derive(Debug)]
+pub struct CrashAt<A> {
+    inner: A,
+    round: u64,
+}
+
+impl<A: Adversary> CrashAt<A> {
+    /// Crashes `inner`'s parties at the start of `round` (0-based within
+    /// each phase).
+    pub fn new(inner: A, round: u64) -> Self {
+        CrashAt { inner, round }
+    }
+}
+
+impl<A: Adversary> Adversary for CrashAt<A> {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        self.inner.corrupted()
+    }
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        if round < self.round {
+            self.inner.on_round(round, rushed, sender);
+        }
+    }
+}
+
+/// Runs several strategies side by side; the corrupt set is their union.
+///
+/// Each sub-strategy only observes rushed traffic addressed to *its own*
+/// corrupted parties and only speaks through them, so e.g. half the
+/// corrupt set can equivocate while the other half floods a victim.
+pub struct Composed {
+    parts: Vec<Box<dyn Adversary>>,
+    union: BTreeSet<PartyId>,
+}
+
+impl Composed {
+    /// Composes the given strategies.
+    pub fn new(parts: Vec<Box<dyn Adversary>>) -> Self {
+        let union = parts
+            .iter()
+            .flat_map(|p| p.corrupted().iter().copied())
+            .collect();
+        Composed { parts, union }
+    }
+}
+
+impl fmt::Debug for Composed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Composed")
+            .field("parts", &self.parts.len())
+            .field("union", &self.union)
+            .finish()
+    }
+}
+
+impl Adversary for Composed {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.union
+    }
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        for part in &mut self.parts {
+            let own: BTreeMap<PartyId, Vec<Envelope>> = rushed
+                .iter()
+                .filter(|(id, _)| part.corrupted().contains(id))
+                .map(|(&id, envs)| (id, envs.clone()))
+                .collect();
+            part.on_round(round, &own, sender);
+        }
+    }
+}
+
+/// Activates strategies by round window: entry `(start, strategy)` runs
+/// for rounds `start..next_start` (entries sorted by `start`; the last
+/// runs to the end of the phase). Rounds before the first entry are
+/// silent.
+pub struct Schedule {
+    entries: Vec<(u64, Box<dyn Adversary>)>,
+    union: BTreeSet<PartyId>,
+}
+
+impl Schedule {
+    /// Creates a schedule; entries need not be pre-sorted.
+    pub fn new(mut entries: Vec<(u64, Box<dyn Adversary>)>) -> Self {
+        entries.sort_by_key(|(start, _)| *start);
+        let union = entries
+            .iter()
+            .flat_map(|(_, a)| a.corrupted().iter().copied())
+            .collect();
+        Schedule { entries, union }
+    }
+}
+
+impl fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let starts: Vec<u64> = self.entries.iter().map(|(s, _)| *s).collect();
+        f.debug_struct("Schedule")
+            .field("starts", &starts)
+            .field("union", &self.union)
+            .finish()
+    }
+}
+
+impl Adversary for Schedule {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.union
+    }
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        let active = self
+            .entries
+            .iter_mut()
+            .take_while(|(start, _)| *start <= round)
+            .last();
+        if let Some((_, strategy)) = active {
+            strategy.on_round(round, rushed, sender);
+        }
+    }
+}
+
+/// A declarative, printable description of a fault-injection strategy —
+/// the unit the chaos sweep enumerates. `Debug`-printing a spec together
+/// with the seed and corruption plan is a complete reproduction recipe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Corrupted parties stay silent (crash faults from round 0).
+    Silent,
+    /// [`Equivocator`] with pseudorandom payloads.
+    Equivocate,
+    /// [`Garbler`] with the given mutation mode.
+    Garble(GarbleMode),
+    /// [`Replayer`] with the given replay rate.
+    Replay {
+        /// Stale payloads re-sent per corrupted party per round.
+        per_round: usize,
+    },
+    /// [`Flooder`] aimed at the honest party with the lowest id unless a
+    /// victim is pinned.
+    Flood {
+        /// Victim party (ignored if corrupted; `None` = lowest honest id).
+        victim: Option<PartyId>,
+        /// Payload size per flood message.
+        payload_len: usize,
+        /// Flood messages per corrupted party per round.
+        per_round: usize,
+    },
+    /// [`CrashAt`] wrapping an inner spec.
+    CrashAt {
+        /// The behaviour before the crash.
+        inner: Box<StrategySpec>,
+        /// Crash round (0-based within each phase).
+        round: u64,
+    },
+    /// [`Composed`] over the sub-specs, splitting the corrupt set evenly
+    /// between them (round-robin by corrupted-party rank).
+    Compose(Vec<StrategySpec>),
+    /// [`Schedule`] switching specs at the given round offsets.
+    Phased(Vec<(u64, StrategySpec)>),
+}
+
+impl StrategySpec {
+    /// A canonical catalogue of single and composed strategies for
+    /// sweeps.
+    pub fn catalogue() -> Vec<StrategySpec> {
+        use StrategySpec::*;
+        vec![
+            Silent,
+            Equivocate,
+            Garble(GarbleMode::BitFlip),
+            Garble(GarbleMode::Truncate),
+            Garble(GarbleMode::Both),
+            Replay { per_round: 3 },
+            Flood {
+                victim: None,
+                payload_len: 512,
+                per_round: 8,
+            },
+            CrashAt {
+                inner: Box::new(Equivocate),
+                round: 4,
+            },
+            Compose(vec![
+                Equivocate,
+                Flood {
+                    victim: None,
+                    payload_len: 256,
+                    per_round: 4,
+                },
+            ]),
+            Phased(vec![
+                (0, Garble(GarbleMode::BitFlip)),
+                (3, Equivocate),
+                (8, Replay { per_round: 2 }),
+            ]),
+        ]
+    }
+
+    /// Builds the adversary controlling `corrupted` on an `n`-party
+    /// network, deterministically from `prg`.
+    pub fn build(&self, corrupted: BTreeSet<PartyId>, n: usize, prg: &Prg) -> Box<dyn Adversary> {
+        match self {
+            StrategySpec::Silent => Box::new(SilentAdversary::new(corrupted)),
+            StrategySpec::Equivocate => {
+                Box::new(Equivocator::new(corrupted, prg.child("equivocate", 0)))
+            }
+            StrategySpec::Garble(mode) => {
+                Box::new(Garbler::new(corrupted, *mode, prg.child("garble", 0)))
+            }
+            StrategySpec::Replay { per_round } => {
+                Box::new(Replayer::new(corrupted, *per_round, prg.child("replay", 0)))
+            }
+            StrategySpec::Flood {
+                victim,
+                payload_len,
+                per_round,
+            } => {
+                let victim = (*victim)
+                    .filter(|v| !corrupted.contains(v) && v.index() < n)
+                    .or_else(|| (0..n as u64).map(PartyId).find(|p| !corrupted.contains(p)))
+                    .unwrap_or(PartyId(0));
+                Box::new(Flooder::new(
+                    corrupted,
+                    victim,
+                    *payload_len,
+                    *per_round,
+                    prg.child("flood", 0),
+                ))
+            }
+            StrategySpec::CrashAt { inner, round } => Box::new(CrashAt::new(
+                BoxedAdversary(inner.build(corrupted, n, &prg.child("crash-inner", 0))),
+                *round,
+            )),
+            StrategySpec::Compose(parts) => {
+                let ids: Vec<PartyId> = corrupted.iter().copied().collect();
+                let built = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| {
+                        let share: BTreeSet<PartyId> = ids
+                            .iter()
+                            .enumerate()
+                            .filter(|(rank, _)| rank % parts.len() == i)
+                            .map(|(_, &p)| p)
+                            .collect();
+                        spec.build(share, n, &prg.child("compose", i as u64))
+                    })
+                    .collect();
+                Box::new(Composed::new(built))
+            }
+            StrategySpec::Phased(entries) => {
+                let built = entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (start, spec))| {
+                        (
+                            *start,
+                            spec.build(corrupted.clone(), n, &prg.child("phased", i as u64)),
+                        )
+                    })
+                    .collect();
+                Box::new(Schedule::new(built))
+            }
+        }
+    }
+
+    /// A short stable label for tables and repro lines.
+    pub fn label(&self) -> String {
+        match self {
+            StrategySpec::Silent => "silent".into(),
+            StrategySpec::Equivocate => "equivocate".into(),
+            StrategySpec::Garble(GarbleMode::BitFlip) => "garble-bitflip".into(),
+            StrategySpec::Garble(GarbleMode::Truncate) => "garble-truncate".into(),
+            StrategySpec::Garble(GarbleMode::Both) => "garble-both".into(),
+            StrategySpec::Replay { per_round } => format!("replay-{per_round}"),
+            StrategySpec::Flood {
+                payload_len,
+                per_round,
+                ..
+            } => format!("flood-{payload_len}x{per_round}"),
+            StrategySpec::CrashAt { inner, round } => {
+                format!("crash@{round}({})", inner.label())
+            }
+            StrategySpec::Compose(parts) => {
+                let labels: Vec<String> = parts.iter().map(|p| p.label()).collect();
+                format!("compose[{}]", labels.join("+"))
+            }
+            StrategySpec::Phased(entries) => {
+                let labels: Vec<String> = entries
+                    .iter()
+                    .map(|(r, s)| format!("{r}:{}", s.label()))
+                    .collect();
+                format!("phased[{}]", labels.join(","))
+            }
+        }
+    }
+}
+
+/// Adapter giving a boxed adversary a by-value [`Adversary`] impl (for
+/// wrapping inside generic combinators like [`CrashAt`]).
+struct BoxedAdversary(Box<dyn Adversary>);
+
+impl fmt::Debug for BoxedAdversary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("BoxedAdversary")
+            .field(self.0.corrupted())
+            .finish()
+    }
+}
+
+impl Adversary for BoxedAdversary {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        self.0.corrupted()
+    }
+    fn on_round(
+        &mut self,
+        round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        self.0.on_round(round, rushed, sender);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::runner::{run_phase, Machine};
+    use pba_crypto::codec::encode_to_vec;
+
+    /// An honest machine: broadcasts its id every round, records the
+    /// distinct payloads it processed, done after 5 rounds.
+    struct Echo {
+        id: PartyId,
+        n: u64,
+        seen: BTreeSet<Vec<u8>>,
+        rounds: u64,
+    }
+
+    impl Machine for Echo {
+        fn on_round(&mut self, ctx: &mut crate::network::Ctx<'_>, inbox: &[Envelope]) {
+            for env in inbox {
+                if let Some(v) = ctx.read::<Vec<u8>>(env) {
+                    self.seen.insert(v);
+                }
+            }
+            for to in (0..self.n).map(PartyId) {
+                if to != self.id {
+                    ctx.send(to, &vec![self.id.0 as u8]);
+                }
+            }
+            self.rounds += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.rounds >= 5
+        }
+    }
+
+    fn run_spec(spec: &StrategySpec, n: u64, corrupt: &[u64]) -> Network {
+        let corrupted: BTreeSet<PartyId> = corrupt.iter().copied().map(PartyId).collect();
+        let mut adversary = spec.build(corrupted.clone(), n as usize, &Prg::from_seed_bytes(b"f"));
+        let mut net = Network::new(n as usize);
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> = (0..n)
+            .map(PartyId)
+            .filter(|i| !corrupted.contains(i))
+            .map(|i| {
+                (
+                    i,
+                    Box::new(Echo {
+                        id: i,
+                        n,
+                        seen: BTreeSet::new(),
+                        rounds: 0,
+                    }) as Box<dyn Machine>,
+                )
+            })
+            .collect();
+        let out = run_phase(&mut net, &mut machines, adversary.as_mut(), 10);
+        assert!(out.completed, "{} hung the echo phase", spec.label());
+        net
+    }
+
+    #[test]
+    fn catalogue_runs_against_echo_machines() {
+        for spec in StrategySpec::catalogue() {
+            run_spec(&spec, 6, &[4, 5]);
+        }
+    }
+
+    #[test]
+    fn equivocator_sends_distinct_payloads() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(3)].into();
+        let mut adv = Equivocator::new(corrupted.clone(), Prg::from_seed_bytes(b"e"));
+        let mut net = Network::new(4);
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &BTreeMap::new(), &mut sender);
+        }
+        let staged = net.take_staged();
+        assert_eq!(staged.len(), 3);
+        let payloads: BTreeSet<&[u8]> = staged.iter().map(|e| e.payload.as_slice()).collect();
+        assert!(payloads.len() > 1, "equivocator sent uniform payloads");
+    }
+
+    #[test]
+    fn equivocator_palette_cycles_by_receiver() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(3)].into();
+        let palette = vec![vec![0u8], vec![1u8]];
+        let mut adv =
+            Equivocator::with_palette(corrupted.clone(), palette, Prg::from_seed_bytes(b"e"));
+        let mut net = Network::new(4);
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &BTreeMap::new(), &mut sender);
+        }
+        for env in net.take_staged() {
+            assert_eq!(env.payload, vec![(env.to.index() % 2) as u8]);
+        }
+    }
+
+    #[test]
+    fn garbler_mutants_differ_from_original() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(2)].into();
+        let mut adv = Garbler::new(
+            corrupted.clone(),
+            GarbleMode::Both,
+            Prg::from_seed_bytes(b"g"),
+        );
+        let original = encode_to_vec(&42u64);
+        let mut net = Network::new(3);
+        let rushed: BTreeMap<PartyId, Vec<Envelope>> = [(
+            PartyId(2),
+            vec![Envelope::new(PartyId(0), PartyId(2), original.clone())],
+        )]
+        .into();
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &rushed, &mut sender);
+        }
+        let staged = net.take_staged();
+        assert!(!staged.is_empty());
+        for env in &staged {
+            assert_ne!(env.payload, original, "garbler forwarded unmodified bytes");
+        }
+    }
+
+    #[test]
+    fn replayer_only_replays_previously_seen() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(2)].into();
+        let mut adv = Replayer::new(corrupted.clone(), 2, Prg::from_seed_bytes(b"r"));
+        let mut net = Network::new(3);
+        let payload = vec![7u8; 9];
+        let rushed: BTreeMap<PartyId, Vec<Envelope>> = [(
+            PartyId(2),
+            vec![Envelope::new(PartyId(0), PartyId(2), payload.clone())],
+        )]
+        .into();
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &rushed, &mut sender);
+        }
+        assert!(net.take_staged().is_empty(), "replayed before recording");
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(1, &BTreeMap::new(), &mut sender);
+        }
+        let staged = net.take_staged();
+        assert!(!staged.is_empty());
+        assert!(staged.iter().all(|e| e.payload == payload));
+        assert!(staged.iter().all(|e| !corrupted.contains(&e.to)));
+    }
+
+    #[test]
+    fn crash_at_silences_inner() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(1)].into();
+        let flood = Flooder::new(
+            corrupted.clone(),
+            PartyId(0),
+            16,
+            2,
+            Prg::from_seed_bytes(b"c"),
+        );
+        let mut adv = CrashAt::new(flood, 2);
+        let mut net = Network::new(2);
+        for round in 0..4 {
+            {
+                let mut sender = AdvSender::new(&mut net, &corrupted);
+                adv.on_round(round, &BTreeMap::new(), &mut sender);
+            }
+            let sent = net.take_staged().len();
+            if round < 2 {
+                assert_eq!(sent, 2, "pre-crash round {round}");
+            } else {
+                assert_eq!(sent, 0, "post-crash round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn composed_partitions_and_unions() {
+        let spec = StrategySpec::Compose(vec![StrategySpec::Equivocate, StrategySpec::Silent]);
+        let corrupted: BTreeSet<PartyId> = [PartyId(4), PartyId(5)].into();
+        let adv = spec.build(corrupted.clone(), 6, &Prg::from_seed_bytes(b"u"));
+        assert_eq!(adv.corrupted(), &corrupted);
+    }
+
+    #[test]
+    fn schedule_switches_by_round() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(1)].into();
+        let loud = Flooder::new(
+            corrupted.clone(),
+            PartyId(0),
+            8,
+            1,
+            Prg::from_seed_bytes(b"s1"),
+        );
+        let mut adv = Schedule::new(vec![(2, Box::new(loud) as Box<dyn Adversary>)]);
+        let mut net = Network::new(2);
+        for round in 0..4u64 {
+            {
+                let mut sender = AdvSender::new(&mut net, &corrupted);
+                adv.on_round(round, &BTreeMap::new(), &mut sender);
+            }
+            let sent = net.take_staged().len();
+            assert_eq!(sent, usize::from(round >= 2), "round {round}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let spec = StrategySpec::Equivocate;
+        let run = |seed: &[u8]| {
+            let corrupted: BTreeSet<PartyId> = [PartyId(3)].into();
+            let mut adv = spec.build(corrupted.clone(), 4, &Prg::from_seed_bytes(seed));
+            let mut net = Network::new(4);
+            {
+                let mut sender = AdvSender::new(&mut net, &corrupted);
+                adv.on_round(0, &BTreeMap::new(), &mut sender);
+            }
+            net.take_staged()
+        };
+        assert_eq!(run(b"a"), run(b"a"));
+        assert_ne!(run(b"a"), run(b"b"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StrategySpec::Equivocate.label(), "equivocate");
+        assert_eq!(
+            StrategySpec::CrashAt {
+                inner: Box::new(StrategySpec::Garble(GarbleMode::Both)),
+                round: 3
+            }
+            .label(),
+            "crash@3(garble-both)"
+        );
+        let labels: BTreeSet<String> = StrategySpec::catalogue()
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert_eq!(
+            labels.len(),
+            StrategySpec::catalogue().len(),
+            "catalogue labels collide"
+        );
+    }
+}

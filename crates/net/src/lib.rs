@@ -17,7 +17,9 @@
 //! * [`network`] — staging, delivery, and the per-party [`network::Ctx`];
 //! * [`runner`] — the phase runner driving honest [`runner::Machine`]s
 //!   against an [`runner::Adversary`];
-//! * [`corruption`] — corruption-set sampling plans.
+//! * [`corruption`] — corruption-set sampling plans;
+//! * [`faults`] — composable Byzantine fault-injection strategies
+//!   ([`faults::StrategySpec`]) for chaos testing.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 
 pub mod corruption;
 pub mod envelope;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod runner;

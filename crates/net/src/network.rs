@@ -82,10 +82,12 @@ impl Network {
         std::mem::take(&mut self.staged)
     }
 
-    /// Re-stages an envelope whose send was already charged — used by the
-    /// runner to peek at staged traffic (rushing) without double counting.
-    pub(crate) fn restage(&mut self, env: Envelope) {
-        self.staged.push(env);
+    /// Peeks at the staged envelopes without consuming them — used by the
+    /// runner for rushing observation, so only envelopes addressed to
+    /// corrupted parties are cloned (rather than cloning and re-staging the
+    /// whole round's traffic).
+    pub fn staged(&self) -> &[Envelope] {
+        &self.staged
     }
 
     /// Advances the round counter.

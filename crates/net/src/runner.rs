@@ -66,7 +66,16 @@ pub struct AdvSender<'a> {
     corrupted: &'a BTreeSet<PartyId>,
 }
 
-impl AdvSender<'_> {
+impl<'a> AdvSender<'a> {
+    /// Creates a sender staging into `net` on behalf of `corrupted`.
+    ///
+    /// [`run_phase`] constructs one per round internally; this is public so
+    /// adversary implementations (e.g. the fault-injection strategies in
+    /// [`crate::faults`]) can be unit-tested round by round.
+    pub fn new(net: &'a mut Network, corrupted: &'a BTreeSet<PartyId>) -> Self {
+        AdvSender { net, corrupted }
+    }
+
     /// Sends raw bytes from corrupted party `from` to `to`.
     ///
     /// # Panics
@@ -193,20 +202,12 @@ pub fn run_phase(
             }
         }
         let corrupted = adversary.corrupted().clone();
-        // Peek at staged (this-round) messages without consuming them.
-        let staged_snapshot: Vec<Envelope> = {
-            let staged = net.take_staged();
-            for env in &staged {
-                if corrupted.contains(&env.to) {
-                    rushed.entry(env.to).or_default().push(env.clone());
-                }
+        // Peek at staged (this-round) messages in place: only envelopes
+        // addressed to corrupted parties are cloned.
+        for env in net.staged() {
+            if corrupted.contains(&env.to) {
+                rushed.entry(env.to).or_default().push(env.clone());
             }
-            staged
-        };
-        // Restore staged messages (metrics were already charged at stage time;
-        // re-stage without double charging).
-        for env in staged_snapshot {
-            net.restage(env);
         }
 
         {

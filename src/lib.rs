@@ -56,11 +56,13 @@ pub mod prelude {
     pub use pba_core::baselines::{all_to_all_ba, sqrt_sampling_boost};
     pub use pba_core::broadcast::{run_broadcasts, BroadcastOutcome};
     pub use pba_core::protocol::{
-        run_ba, AdversaryProfile, BaConfig, BaOutcome, RoundOutcome, Session,
+        run_ba, try_run_ba, AdversaryProfile, BaConfig, BaOutcome, ProtocolError, ProtocolPhase,
+        RoundOutcome, RunOutcome, Session,
     };
     pub use pba_crypto::prg::Prg;
     pub use pba_crypto::sha256::{Digest, Sha256};
     pub use pba_net::corruption::CorruptionPlan;
+    pub use pba_net::faults::{GarbleMode, StrategySpec};
     pub use pba_net::{Network, PartyId, Report};
     pub use pba_srds::experiments::{
         run_forgery, run_robustness, AggregateForgeryAdversary, DefaultRobustnessAdversary,

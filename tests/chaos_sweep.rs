@@ -1,0 +1,86 @@
+//! Chaos sweep as a regression gate: every case in the default
+//! fault-injection matrix must either complete with agreement + validity
+//! or degrade gracefully to a structured failure. Honest-side panics,
+//! disagreement, and validity breaks are violations and fail the test
+//! with a `CHAOS-REPRO` line that replays the offending case.
+
+use pba_bench::chaos::{default_cases, render_sweep, run_case, run_sweep, ChaosVerdict};
+
+#[test]
+fn chaos_sweep_holds_invariants() {
+    let cases = default_cases(b"chaos-ci");
+    assert!(
+        cases.len() >= 20,
+        "sweep matrix shrank to {} combos",
+        cases.len()
+    );
+
+    let reports = run_sweep(&cases);
+    let table = render_sweep(&reports);
+
+    let violations: Vec<_> = reports
+        .iter()
+        .filter(|r| r.verdict.is_violation())
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "chaos sweep found {} violation(s):\n{}\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|r| r.case.repro())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        table
+    );
+
+    // Under-bound cases must keep SAFETY: either full agreement, or a
+    // structured stall/timeout (chaos strategies exceed the modeled
+    // adversary, so liveness may be jammed — gracefully). Over-bound
+    // plans must be rejected at the establishment bound check.
+    for r in &reports {
+        if r.case.honest_majority() {
+            assert!(
+                matches!(
+                    r.verdict,
+                    ChaosVerdict::Agreed { .. } | ChaosVerdict::Degraded { .. }
+                ),
+                "under-bound case broke safety: {} -> {}\n{}",
+                r.case.repro(),
+                r.verdict.label(),
+                table
+            );
+        } else {
+            assert!(
+                matches!(r.verdict, ChaosVerdict::Degraded { .. }),
+                "over-bound case must degrade gracefully: {} -> {}",
+                r.case.repro(),
+                r.verdict.label()
+            );
+        }
+    }
+    // The sweep exercises both sides of the bound, and a healthy slice of
+    // the matrix still reaches full agreement under active faults.
+    assert!(reports.iter().any(|r| !r.case.honest_majority()));
+    let agreed = reports
+        .iter()
+        .filter(|r| matches!(r.verdict, ChaosVerdict::Agreed { .. }))
+        .count();
+    assert!(
+        agreed >= 5,
+        "only {agreed} cases reached agreement under chaos:\n{table}"
+    );
+}
+
+#[test]
+fn chaos_cases_are_deterministic() {
+    // Same case, run twice: identical classification (the repro-line
+    // contract depends on this).
+    let case = default_cases(b"chaos-ci")
+        .into_iter()
+        .find(|c| c.honest_majority())
+        .expect("matrix has under-bound cases");
+    let (a, b) = (run_case(&case), run_case(&case));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert!(!a.is_violation());
+}

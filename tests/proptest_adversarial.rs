@@ -2,11 +2,15 @@
 //! against the committee sub-protocols. Whatever bytes the adversary
 //! throws, honest parties must terminate in agreement.
 
-use pba_core::phase_king::{rounds_for, PhaseKing};
-use pba_core::vss_coin::toss_coin_vss;
+use pba_core::coin::CoinMsg;
+use pba_core::phase_king::{rounds_for, PhaseKing, PkMsg};
+use pba_core::vss_coin::{toss_coin_vss, VssCoinMsg};
+use pba_crypto::codec::decode_from_slice;
 use pba_crypto::prg::Prg;
+use pba_net::corruption::CorruptionPlan;
+use pba_net::faults::{GarbleMode, StrategySpec};
 use pba_net::runner::{run_phase, AdvSender, Adversary};
-use pba_net::{Envelope, Machine, Network, PartyId};
+use pba_net::{Ctx, Envelope, Machine, Network, PartyId};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -139,5 +143,99 @@ proptest! {
         run_phase(&mut net, &mut machines, &mut adversary, 5);
         prop_assert_eq!(net.metrics().party(PartyId(0)).bytes_received, 0);
         prop_assert!(net.metrics().party(PartyId(1)).bytes_sent > 0);
+    }
+
+    #[test]
+    fn corruption_plans_deterministic_and_in_range(
+        n in 4usize..200,
+        t_pct in 0usize..34,
+        step in 1usize..5,
+        offset in 0usize..4,
+        seed in any::<[u8; 8]>(),
+    ) {
+        let t = n * t_pct / 100;
+        for plan in [
+            CorruptionPlan::None,
+            CorruptionPlan::Random { t },
+            CorruptionPlan::Prefix { t },
+            CorruptionPlan::Suffix { t },
+        ] {
+            let a = plan.materialize(n, &mut Prg::from_seed_bytes(&seed));
+            let b = plan.materialize(n, &mut Prg::from_seed_bytes(&seed));
+            prop_assert_eq!(&a, &b, "plan {} not deterministic per seed", plan.label());
+            let expected = if plan == CorruptionPlan::None { 0 } else { t };
+            prop_assert_eq!(a.len(), expected, "plan {} wrong size", plan.label());
+            prop_assert!(a.iter().all(|p| p.index() < n), "plan {} out of range", plan.label());
+        }
+        // Stride, clamped so the placement fits in [0, n).
+        if offset < n {
+            let available = (n - offset).div_ceil(step);
+            let plan = CorruptionPlan::Stride { t: t.min(available), step, offset };
+            let a = plan.materialize(n, &mut Prg::from_seed_bytes(&seed));
+            prop_assert_eq!(a.len(), t.min(available));
+            prop_assert!(a.iter().all(
+                |p| p.index() < n && p.index() >= offset && (p.index() - offset) % step == 0
+            ));
+        }
+    }
+
+    #[test]
+    fn message_types_survive_arbitrary_bytes(
+        len in 0usize..256,
+        seed in any::<[u8; 8]>(),
+    ) {
+        // Decoding attacker-chosen bytes must reject cleanly (Err), never
+        // panic, for every protocol wire type.
+        let mut prg = Prg::from_seed_bytes(&seed);
+        let mut bytes = vec![0u8; len];
+        rand::RngCore::fill_bytes(&mut prg, &mut bytes);
+        let _ = decode_from_slice::<PkMsg<u8>>(&bytes);
+        let _ = decode_from_slice::<CoinMsg>(&bytes);
+        let _ = decode_from_slice::<VssCoinMsg>(&bytes);
+        let _ = decode_from_slice::<(u64, Vec<u8>, pba_crypto::Digest)>(&bytes);
+    }
+
+    #[test]
+    fn ctx_read_survives_fault_strategies(
+        seed in any::<[u8; 8]>(),
+        strategy in 0usize..4,
+    ) {
+        // Honest receivers running `Ctx::read` on traffic produced by the
+        // fault-injection combinators (garbled replays of real messages,
+        // equivocations, floods) must terminate without panicking.
+        struct Probe {
+            rounds: u64,
+        }
+        impl Machine for Probe {
+            fn on_round(&mut self, ctx: &mut Ctx<'_>, inbox: &[Envelope]) {
+                // Feed the adversary real traffic to mutate/replay.
+                let victim = PartyId(ctx.n() as u64 - 1);
+                ctx.send(victim, &PkMsg::Value(self.rounds as u8));
+                for env in inbox {
+                    let _ = ctx.read::<PkMsg<u8>>(env);
+                    let _ = ctx.read::<CoinMsg>(env);
+                    let _ = ctx.read::<VssCoinMsg>(env);
+                }
+                self.rounds += 1;
+            }
+            fn is_done(&self) -> bool {
+                self.rounds >= 6
+            }
+        }
+        let n = 6;
+        let corrupted: BTreeSet<PartyId> = [PartyId(4), PartyId(5)].into();
+        let spec = [
+            StrategySpec::Garble(GarbleMode::Both),
+            StrategySpec::Equivocate,
+            StrategySpec::Replay { per_round: 2 },
+            StrategySpec::Flood { victim: None, payload_len: 64, per_round: 4 },
+        ][strategy].clone();
+        let mut adversary = spec.build(corrupted, n, &Prg::from_seed_bytes(&seed));
+        let mut net = Network::new(n);
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> = (0..4u64)
+            .map(|i| (PartyId(i), Box::new(Probe { rounds: 0 }) as Box<dyn Machine>))
+            .collect();
+        let outcome = run_phase(&mut net, &mut machines, adversary.as_mut(), 8);
+        prop_assert!(outcome.completed, "probes hung under {}", spec.label());
     }
 }

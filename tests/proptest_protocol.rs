@@ -27,6 +27,7 @@ proptest! {
             profile: if byzantine { AdversaryProfile::Byzantine } else { AdversaryProfile::Passive },
             seed: seed.to_vec(),
             establishment: pba_core::protocol::Establishment::Charged,
+            chaos: None,
         };
         let inputs: Vec<u8> = if unanimous {
             vec![bit; n]
@@ -57,6 +58,7 @@ proptest! {
             profile: AdversaryProfile::Byzantine,
             seed: seed.to_vec(),
             establishment: pba_core::protocol::Establishment::Charged,
+            chaos: None,
         };
         let out = run_ba(&scheme, &config, &vec![bit; n]);
         prop_assert!(out.agreement, "outputs: {:?}", out.outputs);

@@ -1,0 +1,502 @@
+//! Offline stand-in for the slice of the `proptest` API this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*` macros, [`any`],
+//! [`collection::vec`], range/tuple strategies, and [`ProptestConfig`].
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched. This stand-in keeps the same surface syntax so
+//! the test suite is source-compatible with upstream proptest; semantics
+//! differ in two deliberate ways:
+//!
+//! * **no shrinking** — on failure the *exact generated inputs* are
+//!   printed (they regenerate deterministically from the case seed), which
+//!   is the reproduction story this deterministic codebase wants anyway;
+//! * **deterministic by default** — cases derive from a fixed seed, so CI
+//!   runs are replayable; set `PROPTEST_SEED` to explore a new region and
+//!   `PROPTEST_CASES` to scale the number of cases per test.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (mirrors the upstream field we use).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic case generator handed to strategies: SplitMix64.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one `(test, case)` pair.
+    pub fn new(seed: u64, test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name keeps per-test streams independent.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: seed ^ h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next 64 uniformly pseudorandom bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty strategy range");
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. Upstream proptest's `Strategy` carries shrinking
+/// machinery; here a strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is admissible.
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// A minimal regex-pattern strategy: string literals used as strategies
+/// (upstream proptest's regex support). Supports the subset this
+/// workspace's tests use — one character class with an optional
+/// repetition, e.g. `"[a-z]{1,8}"`; any other pattern generates itself
+/// literally.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(rest) = self.strip_prefix('[') {
+            if let Some((class, tail)) = rest.split_once(']') {
+                let chars = expand_class(class);
+                if !chars.is_empty() {
+                    let (lo, hi) = parse_repetition(tail);
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    return (0..len)
+                        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                        .collect();
+                }
+            }
+        }
+        self.to_string()
+    }
+}
+
+fn expand_class(class: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // the '-'
+            if let Some(end) = lookahead.next() {
+                chars = lookahead;
+                out.extend((c..=end).filter(|ch| ch.is_ascii()));
+                continue;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn parse_repetition(tail: &str) -> (usize, usize) {
+    match tail {
+        "" => (1, 1),
+        "*" => (0, 8),
+        "+" => (1, 8),
+        _ => {
+            let inner = tail.trim_start_matches('{').trim_end_matches('}');
+            let mut parts = inner.splitn(2, ',');
+            let lo: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            let hi: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(lo)
+                .max(lo);
+            (lo, hi)
+        }
+    }
+}
+
+/// A strategy producing a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (uniform over its value space).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A collection length specification (half-open), converted from the
+/// range forms the tests write (`0..24`, `2usize..5`, or a fixed size).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.lo < self.hi, "empty size range");
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::Range<i32>> for SizeRange {
+    fn from(r: std::ops::Range<i32>) -> Self {
+        SizeRange {
+            lo: r.start.max(0) as usize,
+            hi: r.end.max(0) as usize,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            lo: len,
+            hi: len + 1,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The global base seed: `PROPTEST_SEED` env var or a fixed default.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x70ba_70ba_70ba_70ba)
+}
+
+fn case_count(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases)
+        .max(1)
+}
+
+/// Drives one property: runs `config.cases` generated cases, printing the
+/// reproduction line (seed + case + inputs) if one panics.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> String,
+{
+    let seed = base_seed();
+    for case in 0..case_count(&config) {
+        let mut rng = TestRng::new(seed, test_name, case);
+        let mut inputs = String::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            inputs = case_fn(&mut rng);
+        }));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest failure in `{test_name}` \
+                 (reproduce with PROPTEST_SEED={seed}, case {case}):\n  {inputs}"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Runs one property body (see [`proptest!`]; a separate function so
+/// `prop_assume!`'s early return has a frame to return from).
+pub fn run_once<F: FnOnce()>(body: F) {
+    body()
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Rejects the current case when the assumption fails (early-returns from
+/// the property body; upstream additionally retries with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// item becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (@items ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                let repro = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                // Inner closure so `prop_assume!` can reject the case by
+                // early return without skipping the repro bookkeeping.
+                $crate::run_once(move || $body);
+                repro
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1, "t", 0);
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_case() {
+        let a: [u8; 8] = any().generate(&mut TestRng::new(7, "x", 3));
+        let b: [u8; 8] = any().generate(&mut TestRng::new(7, "x", 3));
+        let c: [u8; 8] = any().generate(&mut TestRng::new(7, "x", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let strat = collection::vec(any::<u8>(), 2usize..5);
+        let mut rng = TestRng::new(9, "v", 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_smoke(x in 0u64..10, flag in any::<bool>(), bytes in any::<[u8; 8]>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(bytes.len(), 8);
+            let _ = flag;
+        }
+    }
+}

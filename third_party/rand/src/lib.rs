@@ -1,0 +1,127 @@
+//! Offline stand-in for the slice of the `rand` 0.8 API used by this
+//! workspace (`RngCore`, `CryptoRng`, `SeedableRng`, `Error`).
+//!
+//! The build environment has no network access to crates.io, and the only
+//! consumer of `rand` here is [`pba_crypto::prg::Prg`] implementing the
+//! generator traits so protocol randomness stays swappable. This crate
+//! mirrors the trait definitions exactly (same method names and
+//! signatures) so the real `rand` can be dropped back in without source
+//! changes.
+
+use std::fmt;
+
+/// Error type for fallible generator operations.
+///
+/// The deterministic generators in this workspace never fail, so this is
+/// only ever constructed by code paths that exist for API compatibility.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface (mirrors `rand_core`).
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with stream bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Marker trait for cryptographically secure generators.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// Generators constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` (spread across the seed).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (i, b) in seed.as_mut().iter_mut().enumerate() {
+            *b = state.to_le_bytes()[i % 8];
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn default_try_fill_delegates() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 4];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut rng = Counter(0);
+        let r = &mut rng;
+        fn takes_rng<R: RngCore>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        assert_eq!(takes_rng(r), 1);
+    }
+}
