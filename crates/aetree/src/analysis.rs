@@ -23,7 +23,9 @@
 //! assert!(analysis.isolated().is_empty());
 //! ```
 
-use crate::tree::Tree;
+use crate::robust::dedup_committee;
+use crate::tree::{NodeAddr, Tree};
+use pba_crypto::prg::Prg;
 use pba_net::PartyId;
 use std::collections::BTreeSet;
 
@@ -145,11 +147,88 @@ impl TreeAnalysis {
     }
 }
 
+/// One entry of the adaptive adversary's target ranking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TakeoverTarget {
+    /// The ranked node.
+    pub node: NodeAddr,
+    /// Distinct committee members still needed for a **strict majority**
+    /// of the node's committee (the cost of taking it over under
+    /// redundant-path voting).
+    pub cost: usize,
+    /// Leaves whose root path runs through this node (the coverage
+    /// destroyed by a takeover — the node's load).
+    pub load: usize,
+}
+
+/// Ranks every tree node by takeover value for a **post-setup adaptive
+/// adversary**: load-bearing nodes (many leaves route through them) with
+/// small committees (cheap to majority-corrupt) come first. Ties break
+/// toward lower levels, then lower node indices, so the ranking is a pure
+/// function of the tree.
+pub fn takeover_ranking(tree: &Tree) -> Vec<TakeoverTarget> {
+    let branching = tree.params().branching;
+    let mut targets: Vec<TakeoverTarget> = Vec::new();
+    for level in 0..tree.height() {
+        let load = branching.pow(level as u32);
+        for node in 0..tree.nodes_at_level(level) {
+            let members = dedup_committee(tree.committee(level, node));
+            targets.push(TakeoverTarget {
+                node: (level, node),
+                cost: members.len() / 2 + 1,
+                load,
+            });
+        }
+    }
+    // Value = load per corrupted party; compare load·cost' vs load'·cost
+    // to stay in integers.
+    targets.sort_by(|a, b| {
+        (b.load * a.cost)
+            .cmp(&(a.load * b.cost))
+            .then(a.node.0.cmp(&b.node.0))
+            .then(a.node.1.cmp(&b.node.1))
+    });
+    targets
+}
+
+/// Spends an adaptive post-setup corruption `budget` against an
+/// established tree: walks [`takeover_ranking`] greedily, majority-
+/// corrupting every node it can still afford (members already corrupted
+/// by an earlier takeover count toward the majority), then spends any
+/// leftover budget on `prg`-sampled fillers. Deterministic for a fixed
+/// tree and `prg` state; the result never exceeds `min(budget, n)`
+/// parties.
+pub fn adaptive_targets(tree: &Tree, budget: usize, prg: &mut Prg) -> BTreeSet<PartyId> {
+    let n = tree.params().n;
+    let budget = budget.min(n);
+    let mut corrupt: BTreeSet<PartyId> = BTreeSet::new();
+    for target in takeover_ranking(tree) {
+        let (level, node) = target.node;
+        let members = dedup_committee(tree.committee(level, node));
+        let majority = members.len() / 2 + 1;
+        let already = members.iter().filter(|m| corrupt.contains(m)).count();
+        let needed: Vec<PartyId> = members
+            .iter()
+            .filter(|m| !corrupt.contains(m))
+            .take(majority.saturating_sub(already))
+            .copied()
+            .collect();
+        if needed.len() + corrupt.len() <= budget {
+            corrupt.extend(needed);
+        }
+    }
+    // Leftover budget: pseudorandom fillers (a real adversary never
+    // leaves budget on the table).
+    while corrupt.len() < budget {
+        corrupt.insert(PartyId(prg.gen_range(n as u64)));
+    }
+    corrupt
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::TreeParams;
-    use pba_crypto::prg::Prg;
     use pba_net::corruption::{max_corruptions, CorruptionPlan};
 
     fn tree(n: usize, z: usize) -> Tree {
@@ -257,5 +336,56 @@ mod tests {
         let a = TreeAnalysis::analyze(&t, &BTreeSet::new());
         assert!(a.root_good());
         assert_eq!(a.good_leaf_fraction(), 1.0);
+    }
+
+    #[test]
+    fn takeover_ranking_covers_every_node_and_prefers_value() {
+        let t = tree(128, 2);
+        let ranking = takeover_ranking(&t);
+        let total_nodes: usize = (0..t.height()).map(|l| t.nodes_at_level(l)).sum();
+        assert_eq!(ranking.len(), total_nodes);
+        // Value (load/cost) is non-increasing down the ranking.
+        for pair in ranking.windows(2) {
+            assert!(
+                pair[0].load * pair[1].cost >= pair[1].load * pair[0].cost,
+                "ranking not sorted by takeover value: {pair:?}"
+            );
+        }
+        // Costs are strict majorities of the deduped committees.
+        for target in &ranking {
+            let members = dedup_committee(t.committee(target.node.0, target.node.1));
+            assert_eq!(target.cost, members.len() / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn adaptive_targets_deterministic_and_bounded() {
+        let t = tree(96, 2);
+        for budget in [0usize, 1, 7, 15, 31, 200] {
+            let a = adaptive_targets(&t, budget, &mut Prg::from_seed_bytes(b"adv"));
+            let b = adaptive_targets(&t, budget, &mut Prg::from_seed_bytes(b"adv"));
+            assert_eq!(a, b, "budget {budget} not deterministic");
+            assert_eq!(a.len(), budget.min(96), "budget {budget} misspent");
+            assert!(a.iter().all(|p| p.index() < 96));
+        }
+    }
+
+    #[test]
+    fn adaptive_targets_majority_corrupt_their_best_node() {
+        let t = tree(96, 2);
+        let ranking = takeover_ranking(&t);
+        let best = &ranking[0];
+        let corrupt = adaptive_targets(&t, best.cost, &mut Prg::from_seed_bytes(b"adv"));
+        let members = dedup_committee(t.committee(best.node.0, best.node.1));
+        let bad = members.iter().filter(|m| corrupt.contains(m)).count();
+        assert!(
+            2 * bad > members.len(),
+            "budget {} bought only {bad}/{} of the top-value node",
+            best.cost,
+            members.len()
+        );
+        // The classical 1/3 analysis flags the node as bad too.
+        let analysis = TreeAnalysis::analyze(&t, &corrupt);
+        assert!(!analysis.is_good(best.node.0, best.node.1));
     }
 }

@@ -12,10 +12,13 @@
 //! * [`analysis`] — good nodes, good paths, isolated parties;
 //! * [`fae`] — the `f_ae-comm` functionality: metered Byzantine-tolerant
 //!   dissemination from the supreme committee, plus KSSV establishment
-//!   accounting.
+//!   accounting;
+//! * [`robust`] — byzantine-robust redundant-path aggregation: node values
+//!   ascend via full committees with per-child strict-majority voting.
 pub mod analysis;
 pub mod fae;
 pub mod params;
+pub mod robust;
 pub mod tree;
 
 pub use analysis::TreeAnalysis;

@@ -25,8 +25,9 @@ fn main() {
     for case in &cases {
         let verdict = run_case(case);
         eprintln!(
-            "  {:>4}  {:<16}  {:<34}  {}",
+            "  {:>4}  {:<11}  {:<16}  {:<34}  {}",
             case.n,
+            case.establishment.label(),
             case.plan.label(),
             case.spec.label(),
             verdict.label()

@@ -33,6 +33,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub struct ChaosCase {
     /// Number of parties.
     pub n: usize,
+    /// How the communication tree is established.
+    pub establishment: Establishment,
     /// Corruption placement.
     pub plan: CorruptionPlan,
     /// Fault-injection strategy.
@@ -46,8 +48,9 @@ impl ChaosCase {
     pub fn repro(&self) -> String {
         let seed_hex: String = self.seed.iter().map(|b| format!("{b:02x}")).collect();
         format!(
-            "CHAOS-REPRO n={} plan={} spec={} seed=0x{} spec_debug={:?} plan_debug={:?}",
+            "CHAOS-REPRO n={} est={} plan={} spec={} seed=0x{} spec_debug={:?} plan_debug={:?}",
             self.n,
+            self.establishment.label(),
             self.plan.label(),
             self.spec.label(),
             seed_hex,
@@ -59,15 +62,18 @@ impl ChaosCase {
     /// True when this case stays strictly below the `n/3` design bound
     /// (so the protocol is *required* to complete with agreement).
     pub fn honest_majority(&self) -> bool {
-        let t = match &self.plan {
-            CorruptionPlan::None => 0,
-            CorruptionPlan::Random { t }
-            | CorruptionPlan::Prefix { t }
-            | CorruptionPlan::Suffix { t }
-            | CorruptionPlan::Stride { t, .. } => *t,
-            CorruptionPlan::Explicit(set) => set.len(),
-        };
-        3 * t < self.n
+        3 * self.plan.budget() < self.n
+    }
+
+    /// The `n plan strategy` key used by the golden outcome table.
+    pub fn key(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.n,
+            self.establishment.label(),
+            self.plan.label(),
+            self.spec.label()
+        )
     }
 }
 
@@ -142,7 +148,7 @@ pub fn run_case(case: &ChaosCase) -> ChaosVerdict {
         corruption: case.plan.clone(),
         profile: AdversaryProfile::Byzantine,
         seed: case.seed.clone(),
-        establishment: Establishment::Charged,
+        establishment: case.establishment,
         chaos: Some(case.spec.clone()),
     };
     let inputs = vec![1u8; case.n];
@@ -193,16 +199,31 @@ pub fn takeover_plan(n: usize, seed: &[u8]) -> CorruptionPlan {
     tree.leaf_takeover(0, (n - 1) / 3)
 }
 
-fn case_seed(base: &[u8], n: usize, plan: &CorruptionPlan, spec: &StrategySpec) -> Vec<u8> {
+fn case_seed(
+    base: &[u8],
+    n: usize,
+    establishment: Establishment,
+    plan: &CorruptionPlan,
+    spec: &StrategySpec,
+) -> Vec<u8> {
     let mut seed = base.to_vec();
-    seed.extend_from_slice(format!("/{n}/{}/{}", plan.label(), spec.label()).as_bytes());
+    seed.extend_from_slice(format!("/{n}").as_bytes());
+    // The charged column predates the establishment axis; its seeds keep
+    // the legacy shape so the golden table stays comparable run-over-run.
+    if establishment == Establishment::Interactive {
+        seed.extend_from_slice(b"/interactive");
+    }
+    seed.extend_from_slice(format!("/{}/{}", plan.label(), spec.label()).as_bytes());
     seed
 }
 
-/// The default sweep matrix: ≥ 20 strategy × placement × size combos,
-/// including structured placements (suffix/stride), a committee takeover
-/// of an a.e.-tree leaf, and over-bound plans that must degrade
-/// gracefully.
+/// The default sweep matrix: ≥ 30 strategy × placement × establishment ×
+/// size combos, including structured placements (suffix/stride), a
+/// committee takeover of an a.e.-tree leaf, the [`Adaptive`] post-setup
+/// adversary, interactive establishment, and over-bound plans that must
+/// degrade gracefully.
+///
+/// [`Adaptive`]: CorruptionPlan::Adaptive
 pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
     let mut cases = Vec::new();
 
@@ -210,15 +231,20 @@ pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
     // (agreement expected despite active faults) and the leaf-committee
     // takeover (an aggressive placement that may stall — gracefully).
     let n = 48;
+    let est = Establishment::Charged;
     let t = max_corruptions(n, 0.10).max(1);
     for spec in StrategySpec::catalogue() {
         for plan in [
             CorruptionPlan::Random { t },
-            takeover_plan(n, &case_seed(base_seed, n, &CorruptionPlan::None, &spec)),
+            takeover_plan(
+                n,
+                &case_seed(base_seed, n, est, &CorruptionPlan::None, &spec),
+            ),
         ] {
-            let seed = case_seed(base_seed, n, &plan, &spec);
+            let seed = case_seed(base_seed, n, est, &plan, &spec);
             cases.push(ChaosCase {
                 n,
+                establishment: est,
                 plan,
                 spec: spec.clone(),
                 seed,
@@ -250,9 +276,10 @@ pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
                 offset: 1,
             },
         ] {
-            let seed = case_seed(base_seed, n, &plan, &spec);
+            let seed = case_seed(base_seed, n, est, &plan, &spec);
             cases.push(ChaosCase {
                 n,
+                establishment: est,
                 plan,
                 spec: spec.clone(),
                 seed,
@@ -260,13 +287,78 @@ pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
         }
     }
 
-    // Over-bound plans: the protocol must fail gracefully, never panic.
+    // Interactive-establishment column at n = 48: the tournament election
+    // runs with real metered messages, then the same chaos strategies hit
+    // the committee sub-protocols. Crossed with every placement family —
+    // random, structured, and adaptive — so no strategy axis exists only
+    // under charged establishment.
     let n = 48;
-    for spec in [StrategySpec::Silent, StrategySpec::Equivocate] {
-        let plan = CorruptionPlan::Random { t: n / 3 };
-        let seed = case_seed(base_seed, n, &plan, &spec);
+    let est = Establishment::Interactive;
+    let t = max_corruptions(n, 0.10).max(1);
+    for spec in [
+        StrategySpec::Silent,
+        StrategySpec::Equivocate,
+        StrategySpec::Garble(GarbleMode::Both),
+    ] {
+        for plan in [
+            CorruptionPlan::Random { t },
+            CorruptionPlan::Suffix { t },
+            CorruptionPlan::Stride {
+                t,
+                step: 3,
+                offset: 1,
+            },
+            CorruptionPlan::Adaptive { t: 8 },
+        ] {
+            let seed = case_seed(base_seed, n, est, &plan, &spec);
+            cases.push(ChaosCase {
+                n,
+                establishment: est,
+                plan,
+                spec: spec.clone(),
+                seed,
+            });
+        }
+    }
+
+    // Adaptive post-setup adversary under charged establishment. Budget 8
+    // affords a majority of the cheapest leaf committee; budget 15 buys
+    // the most load-bearing internal node yet stays under the n/3 bound —
+    // both must stay safe (agree or degrade, never violate).
+    let est = Establishment::Charged;
+    for (spec, t) in [
+        (StrategySpec::Silent, 8),
+        (StrategySpec::Equivocate, 8),
+        (StrategySpec::Garble(GarbleMode::Both), 8),
+        (StrategySpec::Equivocate, 15),
+    ] {
+        let plan = CorruptionPlan::Adaptive { t };
+        let seed = case_seed(base_seed, n, est, &plan, &spec);
         cases.push(ChaosCase {
             n,
+            establishment: est,
+            plan,
+            spec,
+            seed,
+        });
+    }
+
+    // Over-bound plans: the protocol must fail gracefully, never panic.
+    // The adaptive plan at t = n/3 is rejected before it ever ranks a
+    // target — the bound check cannot depend on placement cleverness.
+    let n = 48;
+    for (spec, plan) in [
+        (StrategySpec::Silent, CorruptionPlan::Random { t: n / 3 }),
+        (
+            StrategySpec::Equivocate,
+            CorruptionPlan::Random { t: n / 3 },
+        ),
+        (StrategySpec::Silent, CorruptionPlan::Adaptive { t: n / 3 }),
+    ] {
+        let seed = case_seed(base_seed, n, est, &plan, &spec);
+        cases.push(ChaosCase {
+            n,
+            establishment: est,
             plan,
             spec,
             seed,
@@ -292,13 +384,14 @@ pub fn run_sweep(cases: &[ChaosCase]) -> Vec<ChaosReport> {
 pub fn render_sweep(reports: &[ChaosReport]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>4}  {:<16}  {:<34}  {}\n",
-        "n", "plan", "strategy", "verdict"
+        "{:>4}  {:<11}  {:<16}  {:<34}  {}\n",
+        "n", "est", "plan", "strategy", "verdict"
     ));
     for r in reports {
         out.push_str(&format!(
-            "{:>4}  {:<16}  {:<34}  {}\n",
+            "{:>4}  {:<11}  {:<16}  {:<34}  {}\n",
             r.case.n,
+            r.case.establishment.label(),
             r.case.plan.label(),
             r.case.spec.label(),
             r.verdict.label()
@@ -329,22 +422,42 @@ mod tests {
     #[test]
     fn matrix_covers_required_combos() {
         let cases = default_cases(b"chaos-unit");
-        assert!(cases.len() >= 20, "only {} combos", cases.len());
+        assert!(cases.len() >= 30, "only {} combos", cases.len());
         // Strategy diversity.
         let specs: std::collections::BTreeSet<String> =
             cases.iter().map(|c| c.spec.label()).collect();
         assert!(specs.len() >= 8, "only {} distinct strategies", specs.len());
-        // Placement diversity, including a takeover (explicit) plan.
+        // Placement diversity, including a takeover (explicit) plan and
+        // the adaptive post-setup plan.
         let plans: std::collections::BTreeSet<String> =
             cases.iter().map(|c| c.plan.label()).collect();
-        assert!(plans.len() >= 4, "only {} distinct plans", plans.len());
+        assert!(plans.len() >= 5, "only {} distinct plans", plans.len());
         assert!(cases
             .iter()
             .any(|c| matches!(c.plan, CorruptionPlan::Explicit(_))));
-        // Size diversity and over-bound coverage.
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.plan, CorruptionPlan::Adaptive { .. })));
+        // Both establishment modes, and adaptive under both of them.
+        for est in [Establishment::Charged, Establishment::Interactive] {
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.establishment == est
+                        && matches!(c.plan, CorruptionPlan::Adaptive { .. })),
+                "no adaptive case under {}",
+                est.label()
+            );
+        }
+        // Size diversity and over-bound coverage (three over-bound cases,
+        // one of them adaptive).
         let sizes: std::collections::BTreeSet<usize> = cases.iter().map(|c| c.n).collect();
         assert!(sizes.len() >= 2);
-        assert!(cases.iter().any(|c| !c.honest_majority()));
+        let over: Vec<_> = cases.iter().filter(|c| !c.honest_majority()).collect();
+        assert_eq!(over.len(), 3, "expected exactly three over-bound cases");
+        assert!(over
+            .iter()
+            .any(|c| matches!(c.plan, CorruptionPlan::Adaptive { .. })));
     }
 
     #[test]
@@ -361,17 +474,23 @@ mod tests {
 
     #[test]
     fn over_bound_case_degrades() {
-        let case = ChaosCase {
-            n: 48,
-            plan: CorruptionPlan::Random { t: 16 },
-            spec: StrategySpec::Silent,
-            seed: b"chaos-over".to_vec(),
-        };
-        match run_case(&case) {
-            ChaosVerdict::Degraded { phase, .. } => {
-                assert_eq!(phase, ProtocolPhase::Establishment)
+        for plan in [
+            CorruptionPlan::Random { t: 16 },
+            CorruptionPlan::Adaptive { t: 16 },
+        ] {
+            let case = ChaosCase {
+                n: 48,
+                establishment: Establishment::Charged,
+                plan,
+                spec: StrategySpec::Silent,
+                seed: b"chaos-over".to_vec(),
+            };
+            match run_case(&case) {
+                ChaosVerdict::Degraded { phase, .. } => {
+                    assert_eq!(phase, ProtocolPhase::Establishment)
+                }
+                other => panic!("expected graceful degradation, got {other:?}"),
             }
-            other => panic!("expected graceful degradation, got {other:?}"),
         }
     }
 
@@ -379,12 +498,14 @@ mod tests {
     fn repro_line_is_complete() {
         let case = ChaosCase {
             n: 48,
+            establishment: Establishment::Interactive,
             plan: CorruptionPlan::Suffix { t: 4 },
             spec: StrategySpec::Garble(GarbleMode::Truncate),
             seed: vec![0xab, 0xcd],
         };
         let line = case.repro();
         assert!(line.contains("n=48"));
+        assert!(line.contains("est=interactive"));
         assert!(line.contains("suffix-4"));
         assert!(line.contains("garble-truncate"));
         assert!(line.contains("seed=0xabcd"));

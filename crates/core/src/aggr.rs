@@ -97,7 +97,6 @@ pub fn charge_aggr_round(
     input_bytes: &BTreeMap<PartyId, usize>,
     output_bytes: usize,
 ) {
-    let c = committee.len();
     for &member in committee {
         let bytes = input_bytes.get(&member).copied().unwrap_or(0);
         for &peer in committee {
@@ -108,9 +107,17 @@ pub fn charge_aggr_round(
             net.metrics_mut().record_send(member, peer, bytes);
             net.metrics_mut().record_receive(peer, member, bytes);
         }
-        // Constant-round MPC output delivery.
-        net.metrics_mut()
-            .charge_synthetic(member, (output_bytes * (c - 1)) as u64, (c - 1) as u64);
+        // Constant-round MPC output delivery, charged per concrete link
+        // so the aggregate's fan-out is visible in locality and in the
+        // receivers' totals (addressee-less `charge_synthetic` kept this
+        // traffic out of both — the silent-metrics gap).
+        for &peer in committee {
+            if peer == member {
+                continue;
+            }
+            net.metrics_mut()
+                .charge_synthetic_link(member, peer, output_bytes as u64, 1);
+        }
     }
     // Round accounting is the caller's: all nodes of a tree level run their
     // f_aggr-sig invocations in parallel, so the caller bumps once per level.

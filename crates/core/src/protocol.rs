@@ -25,9 +25,10 @@
 use crate::aggr::{charge_aggr_round, f_aggr_sig_uniform};
 use crate::phase_king::{rounds_for, PhaseKing, PkMsg};
 use crate::vss_coin::toss_coin_vss;
-use pba_aetree::analysis::TreeAnalysis;
+use pba_aetree::analysis::{adaptive_targets, TreeAnalysis};
 use pba_aetree::fae::{charge_establishment, constant_adversary, disseminate, honest_adversary};
 use pba_aetree::params::TreeParams;
+use pba_aetree::robust::{ascend, dedup_committee, robust_input_fanin};
 use pba_aetree::tree::Tree;
 use pba_crypto::codec::{decode_from_slice, encode_to_vec, Decode, Encode};
 use pba_crypto::prf::SubsetPrf;
@@ -51,6 +52,16 @@ pub enum Establishment {
     /// Run the interactive tournament election ([`crate::kssv`]) with real
     /// metered messages.
     Interactive,
+}
+
+impl Establishment {
+    /// Short label for tables and seed derivation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Establishment::Charged => "charged",
+            Establishment::Interactive => "interactive",
+        }
+    }
 }
 
 /// How corrupted parties behave during the protocol.
@@ -424,22 +435,34 @@ where
             })
             .collect();
 
-        // Corruption: adaptive during setup (sees all public keys).
-        let corrupt = config
-            .corruption
-            .materialize(n, &mut prg.child("corrupt", 0));
-        if 3 * corrupt.len() >= n {
-            return Err(ProtocolError::CorruptionBound {
-                corrupt: corrupt.len(),
-                n,
-            });
-        }
-        let honest: Vec<PartyId> = (0..n as u64)
-            .map(PartyId)
-            .filter(|p| !corrupt.contains(p))
-            .collect();
+        // Corruption: adaptive during setup (sees all public keys) — or,
+        // for [`CorruptionPlan::Adaptive`], adaptive *post-setup*: the
+        // adversary watches the tree being established and only then
+        // spends its budget on the highest-takeover-value committees
+        // ([`pba_aetree::analysis::adaptive_targets`]).
+        let mut pre_corrupt: BTreeSet<PartyId> = BTreeSet::new();
+        let adaptive_budget = match &config.corruption {
+            CorruptionPlan::Adaptive { t } => {
+                if 3 * t >= n {
+                    return Err(ProtocolError::CorruptionBound { corrupt: *t, n });
+                }
+                Some(*t)
+            }
+            plan => {
+                pre_corrupt = plan.materialize(n, &mut prg.child("corrupt", 0));
+                if 3 * pre_corrupt.len() >= n {
+                    return Err(ProtocolError::CorruptionBound {
+                        corrupt: pre_corrupt.len(),
+                        n,
+                    });
+                }
+                None
+            }
+        };
 
         // Step 1: f_ae-comm — the tree, from post-corruption randomness.
+        // A post-setup adaptive adversary is empty during establishment
+        // (it observes honestly and corrupts only once the tree stands).
         let tree = match config.establishment {
             Establishment::Charged => {
                 let mut tree_seed = config.seed.clone();
@@ -453,7 +476,7 @@ where
                 // exercised by the vss_coin/kssv adversarial tests; the
                 // session-level profiles act from step 2 on.
                 let mut adversary = SilentCommittee {
-                    corrupted: corrupt.clone(),
+                    corrupted: pre_corrupt.clone(),
                 };
                 crate::kssv::establish_interactive(
                     &mut net,
@@ -464,6 +487,14 @@ where
                 .tree
             }
         };
+        let corrupt = match adaptive_budget {
+            Some(t) => adaptive_targets(&tree, t, &mut prg.child("adaptive-corrupt", 0)),
+            None => pre_corrupt,
+        };
+        let honest: Vec<PartyId> = (0..n as u64)
+            .map(PartyId)
+            .filter(|p| !corrupt.contains(p))
+            .collect();
         let analysis = TreeAnalysis::analyze(&tree, &corrupt);
 
         // idmap: slot s ↔ owner's j-th key.
@@ -749,14 +780,19 @@ where
                 leaf_inputs[leaf].push(sig);
             }
         }
+        let evil_payload = encode_to_vec(&(epoch, vec![9u8; value.len().max(1)], Digest::ZERO));
+        let mut evil_sigs: Vec<S::Signature> = Vec::new();
         if self.config.profile == AdversaryProfile::Byzantine {
-            let evil = encode_to_vec(&(epoch, vec![9u8; value.len().max(1)], Digest::ZERO));
             for &p in corrupt.iter() {
                 for &slot in self.tree.party_slots(p) {
                     let (owner, j) = self.slot_sk[slot as usize];
                     let sk = &self.party_keys[owner][j].1;
-                    if let Some(sig) = self.scheme.sign_epoch(&self.pp, slot, sk, epoch, &evil) {
-                        leaf_inputs[self.tree.slot_leaf(slot)].push(sig);
+                    if let Some(sig) =
+                        self.scheme
+                            .sign_epoch(&self.pp, slot, sk, epoch, &evil_payload)
+                    {
+                        leaf_inputs[self.tree.slot_leaf(slot)].push(sig.clone());
+                        evil_sigs.push(sig);
                     }
                 }
             }
@@ -764,10 +800,24 @@ where
         self.net.bump_round();
         self.snap("4:sign-and-submit");
 
-        // ---- Step 5: aggregate up the tree. ----
-        let mut current: Vec<Option<S::Signature>> = Vec::with_capacity(params.leaf_count);
+        // ---- Step 5: robust redundant-path aggregation up the tree. ----
+        // Every node's aggregate ascends via its full committee; parents
+        // vote per child over the redundant copies (DESIGN.md §4b), so a
+        // node contributes as long as corrupted members stay a strict
+        // minority of its distinct committee — the 1/3 goodness threshold
+        // only matters for the classical analysis now.
+        //
+        // Honest leaf values: all honest leaf members hold the same
+        // majority-exchanged signature set (step 5b), aggregated iff the
+        // honest members form the f_aggr-sig quorum.
+        let mut leaf_honest: Vec<Option<S::Signature>> = Vec::with_capacity(params.leaf_count);
         for (leaf, sigs) in leaf_inputs.iter().enumerate() {
             let committee = dedup_committee(self.tree.committee(0, leaf));
+            let honest_members: Vec<PartyId> = committee
+                .iter()
+                .filter(|p| !corrupt.contains(p))
+                .copied()
+                .collect();
             let range = self.tree.leaf_range(leaf);
             let filtered: Vec<S::Signature> = sigs
                 .iter()
@@ -777,49 +827,91 @@ where
                 })
                 .cloned()
                 .collect();
-            let agg = self.node_aggregate(0, leaf, &committee, &filtered, &ys_payload);
-            current.push(agg);
+            let input_bytes: usize = filtered.iter().map(|s| self.scheme.signature_len(s)).sum();
+            let agg = f_aggr_sig_uniform(
+                self.scheme,
+                &self.pp,
+                &self.keyboard,
+                &ys_payload,
+                committee.len(),
+                honest_members.len(),
+                &filtered,
+            );
+            let out_len = agg
+                .as_ref()
+                .map(|a| self.scheme.signature_len(a))
+                .unwrap_or(0);
+            let bytes_map: BTreeMap<PartyId, usize> =
+                committee.iter().map(|&m| (m, input_bytes)).collect();
+            charge_aggr_round(&mut self.net, &honest_members, &bytes_map, out_len);
+            leaf_honest.push(agg);
         }
         // All leaves aggregated in parallel: one exchange + MPC round pair.
         self.net.bump_round();
         self.net.bump_round();
-        for level in 1..params.height {
-            let mut next: Vec<Option<S::Signature>> =
-                Vec::with_capacity(self.tree.nodes_at_level(level));
-            for node in 0..self.tree.nodes_at_level(level) {
-                let committee = dedup_committee(self.tree.committee(level, node));
+
+        // The colluding copy corrupted members vote for at every node: an
+        // aggregate over the adversary's divergent message. It can win the
+        // vote at a majority-corrupted node, but aggregate1's validation
+        // drops it at the next honest combine — withholding in disguise.
+        let evil_copy: Option<S::Signature> = if evil_sigs.is_empty() {
+            None
+        } else {
+            self.scheme
+                .aggregate(&self.pp, &self.keyboard, &evil_payload, &evil_sigs)
+        };
+
+        let scheme = self.scheme;
+        let pp = &self.pp;
+        let keyboard = &self.keyboard;
+        let tree = &self.tree;
+        let corrupt_ref = &corrupt;
+        let payload_ref = &ys_payload;
+        let outcome = ascend(
+            &mut self.net,
+            tree,
+            corrupt_ref,
+            leaf_honest,
+            |net, level, node, winners| {
+                let committee = dedup_committee(tree.committee(level, node));
+                let honest_members: Vec<PartyId> = committee
+                    .iter()
+                    .filter(|p| !corrupt_ref.contains(p))
+                    .copied()
+                    .collect();
                 let mut children_sigs: Vec<S::Signature> = Vec::new();
-                for child in self.tree.children(level, node) {
-                    if let Some(sig) = current[child].clone() {
-                        let child_range = self.tree.node_range(level - 1, child);
-                        let len = self.scheme.signature_len(&sig);
-                        let child_committee =
-                            dedup_committee(self.tree.committee(level - 1, child));
-                        for &sender in child_committee.iter().filter(|p| !corrupt.contains(p)) {
-                            for &receiver in &committee {
-                                if receiver != sender {
-                                    self.net.metrics_mut().record_send(sender, receiver, len);
-                                    self.net.metrics_mut().record_receive(receiver, sender, len);
-                                }
-                            }
-                        }
-                        if child_range.contains(&self.scheme.min_index(&sig))
-                            && child_range.contains(&self.scheme.max_index(&sig))
-                        {
-                            children_sigs.push(sig);
-                        }
+                for (i, child) in tree.children(level, node).enumerate() {
+                    let Some(sig) = winners[i].clone() else {
+                        continue;
+                    };
+                    let child_range = tree.node_range(level - 1, child);
+                    if child_range.contains(&scheme.min_index(&sig))
+                        && child_range.contains(&scheme.max_index(&sig))
+                    {
+                        children_sigs.push(sig);
                     }
                 }
-                let agg = self.node_aggregate(level, node, &committee, &children_sigs, &ys_payload);
-                next.push(agg);
-            }
-            // Per level: child->parent transmission, exchange, MPC.
-            self.net.bump_round();
-            self.net.bump_round();
-            self.net.bump_round();
-            current = next;
-        }
-        let sigma_root = current.pop().flatten();
+                let input_bytes: usize =
+                    children_sigs.iter().map(|s| scheme.signature_len(s)).sum();
+                let agg = f_aggr_sig_uniform(
+                    scheme,
+                    pp,
+                    keyboard,
+                    payload_ref,
+                    committee.len(),
+                    honest_members.len(),
+                    &children_sigs,
+                );
+                let out_len = agg.as_ref().map(|a| scheme.signature_len(a)).unwrap_or(0);
+                let bytes_map: BTreeMap<PartyId, usize> =
+                    committee.iter().map(|&m| (m, input_bytes)).collect();
+                charge_aggr_round(net, &honest_members, &bytes_map, out_len);
+                agg
+            },
+            |_, _, _| evil_copy.clone(),
+            |sig| scheme.signature_len(sig),
+        );
+        let sigma_root = outcome.root_value;
         let certificate_len = sigma_root.as_ref().map(|s| self.scheme.signature_len(s));
         self.snap("5:tree-aggregation");
 
@@ -941,53 +1033,29 @@ where
         Ok(self.certify_and_spread(y, s))
     }
 
-    fn node_aggregate(
-        &mut self,
-        level: usize,
-        node: usize,
-        committee: &[PartyId],
-        inputs: &[S::Signature],
-        message: &[u8],
-    ) -> Option<S::Signature> {
-        let honest_members: Vec<PartyId> = committee
-            .iter()
-            .filter(|p| !self.corrupt.contains(p))
-            .copied()
-            .collect();
-        let input_bytes: usize = inputs.iter().map(|s| self.scheme.signature_len(s)).sum();
-        let agg = if inputs.is_empty() {
-            None
-        } else if self.analysis.is_good(level, node)
-            || self.config.profile == AdversaryProfile::Passive
-        {
-            // Honest members all hold the same majority-exchanged set
-            // (step 5b), so the functionality reduces to the uniform case.
-            f_aggr_sig_uniform(
-                self.scheme,
-                &self.pp,
-                &self.keyboard,
-                message,
-                committee.len(),
-                honest_members.len(),
-                inputs,
-            )
-        } else {
-            None // Byzantine-controlled bad node withholds
+    /// Robust fan-in of every party's input for the committee
+    /// sub-protocols: inputs ascend the tree over redundant committee
+    /// paths ([`pba_aetree::robust::robust_input_fanin`]) and each supreme
+    /// committee member adopts the value it computed over the redundant
+    /// paths, falling back to its own local input when the ascent produced
+    /// no strict-majority value (the safe default — a jammed fan-in never
+    /// substitutes an adversarial value).
+    pub fn robust_committee_inputs(&mut self, inputs: &[u8]) -> BTreeMap<PartyId, u8> {
+        assert_eq!(inputs.len(), self.config.n, "one input per party");
+        let corrupt_value = match self.config.profile {
+            AdversaryProfile::Passive => None,
+            AdversaryProfile::Byzantine => Some(0xaa),
         };
-        let out_len = agg
-            .as_ref()
-            .map(|a| self.scheme.signature_len(a))
-            .unwrap_or(0);
-        let bytes_map: BTreeMap<PartyId, usize> =
-            committee.iter().map(|&m| (m, input_bytes)).collect();
-        charge_aggr_round(&mut self.net, &honest_members, &bytes_map, out_len);
-        agg
+        let corrupt = self.corrupt.clone();
+        let outcome =
+            robust_input_fanin(&mut self.net, &self.tree, &corrupt, inputs, corrupt_value);
+        let root_level = self.tree.height() - 1;
+        let ascended = outcome.honest_values[root_level][0];
+        self.supreme_committee()
+            .iter()
+            .map(|&p| (p, ascended.unwrap_or(inputs[p.index()])))
+            .collect()
     }
-}
-
-fn dedup_committee(members: &[PartyId]) -> Vec<PartyId> {
-    let set: BTreeSet<PartyId> = members.iter().copied().collect();
-    set.into_iter().collect()
 }
 
 /// Runs `π_ba` with the given SRDS scheme.
@@ -1034,11 +1102,10 @@ where
             }
         }
     };
-    let committee_inputs: BTreeMap<PartyId, u8> = session
-        .supreme_committee()
-        .iter()
-        .map(|&p| (p, inputs[p.index()]))
-        .collect();
+    // Certification/coin fan-in rides the robust redundant paths: the
+    // supreme committee's inputs arrive through the same byzantine-robust
+    // routing as the certificates.
+    let committee_inputs = session.robust_committee_inputs(inputs);
     let round = match session.try_certified_round(&committee_inputs) {
         Ok(round) => round,
         Err(reason) => {

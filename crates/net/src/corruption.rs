@@ -45,6 +45,21 @@ pub enum CorruptionPlan {
         /// First corrupted index.
         offset: usize,
     },
+    /// An **adaptive post-setup** adversary: the corrupt set is chosen
+    /// *after* the communication tree is established, by ranking tree
+    /// nodes by takeover value (smallest committees on the most
+    /// load-bearing root-paths) and spending the budget there.
+    ///
+    /// This plan cannot be materialized here — target selection needs the
+    /// established tree, which lives above this crate. Protocol sessions
+    /// resolve it post-establishment (via `pba_aetree::analysis`'s
+    /// adaptive-target ranking) and substitute the resulting
+    /// [`CorruptionPlan::Explicit`] set; [`CorruptionPlan::materialize`]
+    /// panics if asked to resolve it without a tree.
+    Adaptive {
+        /// Corruption budget (number of parties).
+        t: usize,
+    },
 }
 
 impl CorruptionPlan {
@@ -90,6 +105,25 @@ impl CorruptionPlan {
                 );
                 set
             }
+            CorruptionPlan::Adaptive { t } => panic!(
+                "adaptive plan (t = {t}) must be resolved against an established \
+                 tree by the protocol session, not materialized blindly"
+            ),
+        }
+    }
+
+    /// The corruption budget a plan will spend (the size of the set
+    /// [`CorruptionPlan::materialize`] produces, or the budget an adaptive
+    /// plan is allowed post-establishment).
+    pub fn budget(&self) -> usize {
+        match self {
+            CorruptionPlan::None => 0,
+            CorruptionPlan::Random { t }
+            | CorruptionPlan::Prefix { t }
+            | CorruptionPlan::Suffix { t }
+            | CorruptionPlan::Stride { t, .. }
+            | CorruptionPlan::Adaptive { t } => *t,
+            CorruptionPlan::Explicit(set) => set.len(),
         }
     }
 
@@ -104,6 +138,7 @@ impl CorruptionPlan {
             CorruptionPlan::Stride { t, step, offset } => {
                 format!("stride-{t}x{step}+{offset}")
             }
+            CorruptionPlan::Adaptive { t } => format!("adaptive-{t}"),
         }
     }
 }
@@ -203,9 +238,33 @@ mod tests {
                 step: 2,
                 offset: 0,
             },
+            CorruptionPlan::Adaptive { t: 3 },
         ];
         let labels: BTreeSet<String> = plans.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), plans.len());
+    }
+
+    #[test]
+    fn budgets_match_materialized_sizes() {
+        let mut prg = Prg::from_seed_bytes(b"b");
+        let plans = [
+            CorruptionPlan::None,
+            CorruptionPlan::Random { t: 4 },
+            CorruptionPlan::Prefix { t: 2 },
+            CorruptionPlan::Suffix { t: 5 },
+            CorruptionPlan::Explicit([PartyId(1), PartyId(3)].into()),
+        ];
+        for plan in &plans {
+            assert_eq!(plan.materialize(20, &mut prg).len(), plan.budget());
+        }
+        assert_eq!(CorruptionPlan::Adaptive { t: 7 }.budget(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved against an established tree")]
+    fn adaptive_plan_refuses_blind_materialization() {
+        let mut prg = Prg::from_seed_bytes(b"c");
+        CorruptionPlan::Adaptive { t: 3 }.materialize(10, &mut prg);
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //!   that [`StrategySpec::build`]s the combinator tree. Harnesses sweep
 //!   over specs, and a violation report prints the spec + seed as the
 //!   complete reproduction recipe.
+//!
+//! Strategies say *how* corrupted parties misbehave; *which* parties are
+//! corrupted is the orthogonal [`crate::corruption::CorruptionPlan`] axis.
+//! That axis includes an **adaptive post-setup** placement
+//! ([`crate::corruption::CorruptionPlan::Adaptive`]) that picks its targets
+//! from the established communication tree (ranking nodes by takeover
+//! value); because target selection needs the tree, the ranking itself
+//! lives in `pba_aetree::analysis` and protocol sessions resolve the plan
+//! after establishment — any strategy here can then drive the
+//! adaptively-chosen set.
 
 use crate::envelope::{Envelope, PartyId};
 use crate::runner::{AdvSender, Adversary, SilentAdversary};

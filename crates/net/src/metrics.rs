@@ -91,10 +91,40 @@ impl MetricsTable {
     /// Charges synthetic communication to a party — used when a
     /// sub-functionality is costed analytically rather than executed
     /// message-by-message (see DESIGN.md §2, substitution 5).
+    ///
+    /// This variant has no addressee: the bytes count toward `bytes_sent`
+    /// but touch neither peer set, so they are invisible to
+    /// [`PartyMetrics::locality`] and to the receiver's
+    /// [`PartyMetrics::bytes_total`]. Synthetic traffic with a known
+    /// committee topology (e.g. redundant-path aggregation copies) must use
+    /// [`MetricsTable::charge_synthetic_link`] instead, or Table 1's
+    /// locality and max-bytes columns silently under-report the redundancy
+    /// factor.
     pub fn charge_synthetic(&mut self, party: PartyId, bytes: u64, msgs: u64) {
         let m = &mut self.parties[party.index()];
         m.bytes_sent += bytes;
         m.msgs_sent += msgs;
+    }
+
+    /// Charges synthetic communication over a concrete `from → to` link:
+    /// the sender's `bytes_sent`/`msgs_sent` and the receiver's
+    /// `bytes_received`/`msgs_received` both move, and the pair enters each
+    /// other's peer sets so [`PartyMetrics::locality`] and
+    /// [`PartyMetrics::bytes_total`] account the traffic exactly like a
+    /// real envelope.
+    ///
+    /// Use this for analytically-costed protocols whose communication graph
+    /// is known (committee exchanges, redundant-path copies); use
+    /// [`MetricsTable::charge_synthetic`] only when no addressee exists.
+    pub fn charge_synthetic_link(&mut self, from: PartyId, to: PartyId, bytes: u64, msgs: u64) {
+        let sender = &mut self.parties[from.index()];
+        sender.bytes_sent += bytes;
+        sender.msgs_sent += msgs;
+        sender.peers_out.insert(to);
+        let receiver = &mut self.parties[to.index()];
+        receiver.bytes_received += bytes;
+        receiver.msgs_received += msgs;
+        receiver.peers_in.insert(from);
     }
 
     /// Advances the round counter.
@@ -224,6 +254,42 @@ mod tests {
         t.charge_synthetic(PartyId(0), 42, 3);
         assert_eq!(t.party(PartyId(0)).bytes_sent, 42);
         assert_eq!(t.party(PartyId(0)).msgs_sent, 3);
+    }
+
+    #[test]
+    fn synthetic_link_charge_reaches_locality_and_totals() {
+        // The silent-metrics gap: addressee-less charge_synthetic left
+        // redundant-path copies out of locality() and out of the
+        // receiver's bytes_total(). The link variant must surface both.
+        let mut t = MetricsTable::new(3);
+        t.charge_synthetic_link(PartyId(0), PartyId(1), 64, 1);
+        t.charge_synthetic_link(PartyId(0), PartyId(2), 64, 1);
+
+        // Sender side: bytes, messages, and *locality* all move.
+        assert_eq!(t.party(PartyId(0)).bytes_sent, 128);
+        assert_eq!(t.party(PartyId(0)).msgs_sent, 2);
+        assert_eq!(
+            t.party(PartyId(0)).locality(),
+            2,
+            "synthetic copies must count toward the sender's locality"
+        );
+
+        // Receiver side: the copy shows up in bytes_total and locality —
+        // this is exactly what the addressee-less variant fails to do.
+        assert_eq!(t.party(PartyId(1)).bytes_received, 64);
+        assert_eq!(t.party(PartyId(1)).bytes_total(), 64);
+        assert_eq!(t.party(PartyId(1)).locality(), 1);
+
+        // Contrast with the legacy charge: no locality, no receiver bytes.
+        let mut legacy = MetricsTable::new(3);
+        legacy.charge_synthetic(PartyId(0), 128, 2);
+        assert_eq!(legacy.party(PartyId(0)).locality(), 0);
+        assert_eq!(legacy.party(PartyId(1)).bytes_total(), 0);
+
+        // Aggregate view: the report's locality column sees the links.
+        let r = t.report();
+        assert_eq!(r.max_locality, 2);
+        assert_eq!(r.max_bytes_per_party, 128);
     }
 
     #[test]

@@ -3,20 +3,134 @@
 //! or degrade gracefully to a structured failure. Honest-side panics,
 //! disagreement, and validity breaks are violations and fail the test
 //! with a `CHAOS-REPRO` line that replays the offending case.
+//!
+//! On top of the invariants, [`golden_outcome_table`] pins the exact
+//! verdict of every case under the CI seed. The table documents the
+//! robust-aggregation upgrade: the committee-takeover and structured
+//! placements that used to stall certification (σ_root never formed over
+//! the single-copy ascent) now reach agreement over redundant paths,
+//! while over-bound plans — including the adaptive one — are still
+//! rejected at the establishment bound check.
 
-use pba_bench::chaos::{default_cases, render_sweep, run_case, run_sweep, ChaosVerdict};
+use pba_bench::chaos::{
+    default_cases, render_sweep, run_case, run_sweep, ChaosReport, ChaosVerdict,
+};
+use std::sync::OnceLock;
+
+/// The full CI-seed sweep, run once and shared by every test in this file
+/// (a debug-mode sweep is ~1 min; running it per-test would dominate
+/// tier-1 time).
+fn sweep() -> &'static [ChaosReport] {
+    static SWEEP: OnceLock<Vec<ChaosReport>> = OnceLock::new();
+    SWEEP.get_or_init(|| run_sweep(&default_cases(b"chaos-ci")))
+}
+
+/// Expected verdict per case under seed `chaos-ci`, keyed by
+/// `n establishment plan strategy`. Regenerate with
+/// `cargo run --release -p pba-bench --bin chaos -- chaos-ci`.
+const GOLDEN: &[(&str, &str)] = &[
+    ("48 charged random-4 silent", "agreed(Some(1))"),
+    ("48 charged explicit-10 silent", "agreed(Some(1))"),
+    ("48 charged random-4 equivocate", "agreed(Some(1))"),
+    ("48 charged explicit-12 equivocate", "agreed(Some(1))"),
+    ("48 charged random-4 garble-bitflip", "agreed(Some(1))"),
+    ("48 charged explicit-12 garble-bitflip", "agreed(Some(1))"),
+    ("48 charged random-4 garble-truncate", "agreed(Some(1))"),
+    ("48 charged explicit-11 garble-truncate", "agreed(Some(1))"),
+    ("48 charged random-4 garble-both", "agreed(Some(1))"),
+    ("48 charged explicit-11 garble-both", "agreed(Some(1))"),
+    ("48 charged random-4 replay-3", "agreed(Some(1))"),
+    ("48 charged explicit-11 replay-3", "agreed(Some(1))"),
+    ("48 charged random-4 flood-512x8", "agreed(Some(1))"),
+    ("48 charged explicit-11 flood-512x8", "agreed(Some(1))"),
+    ("48 charged random-4 crash@4(equivocate)", "agreed(Some(1))"),
+    (
+        "48 charged explicit-12 crash@4(equivocate)",
+        "agreed(Some(1))",
+    ),
+    (
+        "48 charged random-4 compose[equivocate+flood-256x4]",
+        "agreed(Some(1))",
+    ),
+    (
+        "48 charged explicit-12 compose[equivocate+flood-256x4]",
+        "agreed(Some(1))",
+    ),
+    (
+        "48 charged random-4 phased[0:garble-bitflip,3:equivocate,8:replay-2]",
+        "agreed(Some(1))",
+    ),
+    (
+        "48 charged explicit-11 phased[0:garble-bitflip,3:equivocate,8:replay-2]",
+        "agreed(Some(1))",
+    ),
+    ("64 charged suffix-16 equivocate", "agreed(Some(1))"),
+    ("64 charged stride-16x3+1 equivocate", "agreed(Some(1))"),
+    ("64 charged suffix-16 garble-both", "agreed(Some(1))"),
+    ("64 charged stride-16x3+1 garble-both", "agreed(Some(1))"),
+    ("64 charged suffix-16 flood-512x8", "agreed(Some(1))"),
+    ("64 charged stride-16x3+1 flood-512x8", "agreed(Some(1))"),
+    (
+        "64 charged suffix-16 compose[equivocate+replay-2]",
+        "agreed(Some(1))",
+    ),
+    (
+        "64 charged stride-16x3+1 compose[equivocate+replay-2]",
+        "agreed(Some(1))",
+    ),
+    ("48 interactive random-4 silent", "agreed(Some(1))"),
+    ("48 interactive suffix-4 silent", "agreed(Some(1))"),
+    ("48 interactive stride-4x3+1 silent", "agreed(Some(1))"),
+    ("48 interactive adaptive-8 silent", "agreed(Some(1))"),
+    ("48 interactive random-4 equivocate", "agreed(Some(1))"),
+    ("48 interactive suffix-4 equivocate", "agreed(Some(1))"),
+    ("48 interactive stride-4x3+1 equivocate", "agreed(Some(1))"),
+    ("48 interactive adaptive-8 equivocate", "agreed(Some(1))"),
+    ("48 interactive random-4 garble-both", "agreed(Some(1))"),
+    ("48 interactive suffix-4 garble-both", "agreed(Some(1))"),
+    ("48 interactive stride-4x3+1 garble-both", "agreed(Some(1))"),
+    ("48 interactive adaptive-8 garble-both", "agreed(Some(1))"),
+    ("48 charged adaptive-8 silent", "agreed(Some(1))"),
+    ("48 charged adaptive-8 equivocate", "agreed(Some(1))"),
+    ("48 charged adaptive-8 garble-both", "agreed(Some(1))"),
+    (
+        "48 charged adaptive-15 equivocate",
+        "degraded(certification)",
+    ),
+    ("48 charged random-16 silent", "degraded(establishment)"),
+    ("48 charged random-16 equivocate", "degraded(establishment)"),
+    ("48 charged adaptive-16 silent", "degraded(establishment)"),
+];
+
+/// Cases that stalled certification (`only 0 of N honest parties obtained
+/// output`) before redundant-path aggregation, under the same CI seed.
+/// They must now reach agreement — the headline regression this gate
+/// protects.
+const FORMERLY_STALLED: &[&str] = &[
+    "48 charged explicit-12 garble-bitflip",
+    "48 charged explicit-11 garble-truncate",
+    "48 charged explicit-11 flood-512x8",
+    "48 charged explicit-12 crash@4(equivocate)",
+    "48 charged explicit-12 compose[equivocate+flood-256x4]",
+    "48 charged explicit-11 phased[0:garble-bitflip,3:equivocate,8:replay-2]",
+    "64 charged suffix-16 equivocate",
+    "64 charged suffix-16 garble-both",
+    "64 charged stride-16x3+1 garble-both",
+    "64 charged suffix-16 flood-512x8",
+    "64 charged stride-16x3+1 flood-512x8",
+    "64 charged suffix-16 compose[equivocate+replay-2]",
+    "64 charged stride-16x3+1 compose[equivocate+replay-2]",
+];
 
 #[test]
 fn chaos_sweep_holds_invariants() {
-    let cases = default_cases(b"chaos-ci");
+    let reports = sweep();
     assert!(
-        cases.len() >= 20,
+        reports.len() >= 30,
         "sweep matrix shrank to {} combos",
-        cases.len()
+        reports.len()
     );
-
-    let reports = run_sweep(&cases);
-    let table = render_sweep(&reports);
+    let table = render_sweep(reports);
 
     let violations: Vec<_> = reports
         .iter()
@@ -38,7 +152,7 @@ fn chaos_sweep_holds_invariants() {
     // structured stall/timeout (chaos strategies exceed the modeled
     // adversary, so liveness may be jammed — gracefully). Over-bound
     // plans must be rejected at the establishment bound check.
-    for r in &reports {
+    for r in reports {
         if r.case.honest_majority() {
             assert!(
                 matches!(
@@ -70,6 +184,79 @@ fn chaos_sweep_holds_invariants() {
         agreed >= 5,
         "only {agreed} cases reached agreement under chaos:\n{table}"
     );
+}
+
+#[test]
+fn interactive_establishment_never_violates_within_bound() {
+    // Satellite invariant for the interactive column specifically: the
+    // tournament election plus chaos strategies must never break safety
+    // for a bound-respecting placement.
+    let mut interactive = 0;
+    for r in sweep() {
+        if r.case.establishment != pba_core::protocol::Establishment::Interactive {
+            continue;
+        }
+        interactive += 1;
+        assert!(
+            r.case.honest_majority(),
+            "interactive column is under-bound"
+        );
+        assert!(
+            !r.verdict.is_violation(),
+            "interactive case violated: {} -> {}",
+            r.case.repro(),
+            r.verdict.label()
+        );
+    }
+    assert!(
+        interactive >= 12,
+        "interactive column shrank to {interactive} cases"
+    );
+}
+
+#[test]
+fn golden_outcome_table() {
+    let reports = sweep();
+    let actual: Vec<(String, String)> = reports
+        .iter()
+        .map(|r| (r.case.key(), r.verdict.label()))
+        .collect();
+    assert_eq!(
+        actual.len(),
+        GOLDEN.len(),
+        "matrix size changed — regenerate the golden table:\n{}",
+        render_sweep(reports)
+    );
+    for (i, ((key, verdict), (want_key, want_verdict))) in actual
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .zip(GOLDEN.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            (key, verdict),
+            (*want_key, *want_verdict),
+            "golden table row {i} diverged (repro: {})",
+            reports[i].case.repro()
+        );
+    }
+}
+
+#[test]
+fn formerly_stalled_takeovers_now_agree() {
+    let reports = sweep();
+    assert!(FORMERLY_STALLED.len() >= 5);
+    for key in FORMERLY_STALLED {
+        let report = reports
+            .iter()
+            .find(|r| r.case.key() == *key)
+            .unwrap_or_else(|| panic!("case {key} missing from the matrix"));
+        assert!(
+            matches!(report.verdict, ChaosVerdict::Agreed { .. }),
+            "{key} stalled before robust aggregation and must now agree, got {}",
+            report.verdict.label()
+        );
+    }
 }
 
 #[test]
