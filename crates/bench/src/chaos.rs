@@ -150,6 +150,7 @@ pub fn run_case(case: &ChaosCase) -> ChaosVerdict {
         seed: case.seed.clone(),
         establishment: case.establishment,
         chaos: Some(case.spec.clone()),
+        threads: 1,
     };
     let inputs = vec![1u8; case.n];
     let scheme = SnarkSrds::with_defaults();

@@ -14,9 +14,14 @@
 //! * **the chaos sweep** (`cargo run -p pba-bench --bin chaos --release`)
 //!   — fault-injection strategies × corruption placements × sizes, with
 //!   agreement/validity invariants checked per case (see [`chaos`]);
+//! * **the parallel-round-engine perf baseline**
+//!   (`cargo run -p pba-bench --bin perf --release [-- --smoke]`) —
+//!   sequential vs. all-core wall time, determinism cross-check, and
+//!   hot-path cache hit rates, emitted as `BENCH_3.json` (see [`perf`]);
 //! * criterion micro/macro benches under `benches/`.
 
 pub mod chaos;
+pub mod perf;
 
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};
 use pba_core::protocol::{run_ba, BaConfig};

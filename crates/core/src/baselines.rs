@@ -58,9 +58,9 @@ pub fn all_to_all_ba_real(n: usize, t_silent: usize, input: u8) -> (Report, Vec<
         .collect();
     let mut adversary = SilentAdversary::new(corrupt.clone());
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
         let outcome = run_phase(&mut net, &mut erased, &mut adversary, rounds_for(n) + 6);
         assert!(outcome.completed, "all-to-all BA did not terminate");
@@ -173,9 +173,9 @@ pub fn committee_flood_ba(n: usize, t: usize, input: u8, seed: &[u8]) -> Committ
         .collect();
     let mut adversary = SilentAdversary::new(corrupt.iter().copied());
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
         run_phase(&mut net, &mut erased, &mut adversary, rounds_for(c) + 6);
     }

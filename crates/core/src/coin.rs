@@ -242,9 +242,9 @@ pub fn toss_coin(
         }
     }
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
         run_phase(net, &mut erased, adversary, 8);
     }
@@ -258,9 +258,9 @@ pub fn toss_coin(
         })
         .collect();
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = kings
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = kings
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
         run_phase(net, &mut erased, adversary, rounds_for(committee.len()) + 6);
     }

@@ -293,9 +293,9 @@ pub fn run_dolev_strong(
     }
     let mut adversary = SilentAdversary::new(corrupt.iter().copied());
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
         let outcome = run_phase(
             &mut net,
@@ -409,9 +409,9 @@ mod tests {
             key: sender_key,
         };
         {
-            let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+            let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
                 .iter_mut()
-                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
                 .collect();
             run_phase(&mut net, &mut erased, &mut adversary, t as u64 + 4);
         }

@@ -276,9 +276,9 @@ mod tests {
             }
         }
         {
-            let mut machines: BTreeMap<PartyId, Box<dyn Machine + '_>> = typed
+            let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = typed
                 .iter_mut()
-                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
                 .collect();
             let outcome = run_phase(&mut net, &mut machines, adversary, rounds_for(c) + 6);
             assert!(outcome.completed, "phase-king did not terminate");

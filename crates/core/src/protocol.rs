@@ -24,7 +24,7 @@
 
 use crate::aggr::{charge_aggr_round, f_aggr_sig_uniform};
 use crate::phase_king::{rounds_for, PhaseKing, PkMsg};
-use crate::vss_coin::toss_coin_vss;
+use crate::vss_coin::toss_coin_vss_threaded;
 use pba_aetree::analysis::{adaptive_targets, TreeAnalysis};
 use pba_aetree::fae::{charge_establishment, constant_adversary, disseminate, honest_adversary};
 use pba_aetree::params::TreeParams;
@@ -36,7 +36,7 @@ use pba_crypto::prg::Prg;
 use pba_crypto::sha256::Digest;
 use pba_net::corruption::CorruptionPlan;
 use pba_net::faults::StrategySpec;
-use pba_net::runner::{run_phase, AdvSender, Adversary};
+use pba_net::runner::{run_phase_threaded, AdvSender, Adversary};
 use pba_net::{Envelope, Machine, Network, PartyId, Report};
 use pba_srds::traits::Srds;
 use std::collections::{BTreeMap, BTreeSet};
@@ -95,6 +95,11 @@ pub struct BaConfig {
     /// adversary (the profile still governs dissemination/aggregation
     /// misbehaviour). Built deterministically from the execution seed.
     pub chaos: Option<StrategySpec>,
+    /// Worker threads for the committee sub-protocol round engine
+    /// (`1` = sequential). Any value yields a bit-identical execution —
+    /// see [`pba_net::run_phase_threaded`] — so this is purely a
+    /// wall-clock knob.
+    pub threads: usize,
 }
 
 impl BaConfig {
@@ -108,6 +113,7 @@ impl BaConfig {
             seed: seed.to_vec(),
             establishment: Establishment::Charged,
             chaos: None,
+            threads: 1,
         }
     }
 
@@ -121,7 +127,15 @@ impl BaConfig {
             seed: seed.to_vec(),
             establishment: Establishment::Charged,
             chaos: None,
+            threads: 1,
         }
+    }
+
+    /// Returns the configuration with the round-engine thread count set
+    /// (clamped to at least one worker).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -641,15 +655,16 @@ where
             })
             .collect();
         let outcome = {
-            let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+            let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
                 .iter_mut()
-                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
                 .collect();
-            run_phase(
+            run_phase_threaded(
                 &mut self.net,
                 &mut erased,
                 adversary.as_mut(),
                 rounds_for(supreme.len()) + 6,
+                self.config.threads.max(1),
             )
         };
         if !outcome.completed {
@@ -690,11 +705,12 @@ where
         let supreme = self.supreme_committee();
         let mut adversary = self.committee_adversary(&supreme);
         let epoch = self.epoch;
-        let seeds = toss_coin_vss(
+        let seeds = toss_coin_vss_threaded(
             &mut self.net,
             &supreme,
             adversary.as_mut(),
             &mut self.prg.child("coin", epoch),
+            self.config.threads.max(1),
         );
         let values: BTreeSet<Digest> = seeds.values().copied().collect();
         if values.len() != 1 {

@@ -26,7 +26,7 @@ use pba_crypto::prg::Prg;
 use pba_crypto::reed_solomon;
 use pba_crypto::sha256::{Digest, Sha256};
 use pba_crypto::shamir;
-use pba_net::runner::{run_phase, Adversary};
+use pba_net::runner::{run_phase_threaded, Adversary};
 use pba_net::{Ctx, Envelope, Machine, Network, PartyId};
 use std::collections::BTreeMap;
 
@@ -223,6 +223,24 @@ pub fn toss_coin_vss(
     adversary: &mut dyn Adversary,
     prg: &mut Prg,
 ) -> BTreeMap<PartyId, Digest> {
+    toss_coin_vss_threaded(net, committee, adversary, prg, 1)
+}
+
+/// [`toss_coin_vss`] with the honest round engine spread over `threads`
+/// scoped workers. Any thread count yields a bit-identical run — see
+/// [`pba_net::run_phase_threaded`].
+///
+/// # Panics
+///
+/// Panics if phase-king fails to terminate (impossible below the fault
+/// bound).
+pub fn toss_coin_vss_threaded(
+    net: &mut Network,
+    committee: &[PartyId],
+    adversary: &mut dyn Adversary,
+    prg: &mut Prg,
+    threads: usize,
+) -> BTreeMap<PartyId, Digest> {
     let mut machines: BTreeMap<PartyId, VssCoin> = BTreeMap::new();
     for &id in committee {
         if !adversary.corrupted().contains(&id) {
@@ -231,11 +249,11 @@ pub fn toss_coin_vss(
         }
     }
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
-        run_phase(net, &mut erased, adversary, 8);
+        run_phase_threaded(net, &mut erased, adversary, 8, threads);
     }
 
     let mut kings: BTreeMap<PartyId, PhaseKing<Digest>> = machines
@@ -246,11 +264,17 @@ pub fn toss_coin_vss(
         })
         .collect();
     {
-        let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = kings
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = kings
             .iter_mut()
-            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
-        run_phase(net, &mut erased, adversary, rounds_for(committee.len()) + 6);
+        run_phase_threaded(
+            net,
+            &mut erased,
+            adversary,
+            rounds_for(committee.len()) + 6,
+            threads,
+        );
     }
 
     kings

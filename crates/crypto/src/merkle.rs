@@ -20,9 +20,33 @@
 //! ```
 
 use crate::sha256::{Digest, Sha256};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 const LEAF_PREFIX: u8 = 0x00;
 const NODE_PREFIX: u8 = 0x01;
+
+/// Process-wide proof-cache counters, exposed so benchmarks and property
+/// tests can observe hit rates. Monotone non-decreasing for the lifetime
+/// of the process (unless explicitly reset).
+static PROOF_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PROOF_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-wide Merkle proof cache.
+pub fn proof_cache_stats() -> (u64, u64) {
+    (
+        PROOF_CACHE_HITS.load(Ordering::Relaxed),
+        PROOF_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the process-wide proof-cache counters (perf-harness runs only —
+/// tests asserting monotonicity must not race with this).
+pub fn reset_proof_cache_stats() {
+    PROOF_CACHE_HITS.store(0, Ordering::Relaxed);
+    PROOF_CACHE_MISSES.store(0, Ordering::Relaxed);
+}
 
 /// Hashes a leaf payload with the leaf domain prefix.
 pub fn hash_leaf(data: &[u8]) -> Digest {
@@ -45,10 +69,19 @@ pub fn hash_node(left: &Digest, right: &Digest) -> Digest {
 ///
 /// Odd levels are padded by duplicating the last digest, so any positive
 /// number of leaves is supported.
+///
+/// Proof assembly is memoized: repeated [`MerkleTree::prove`] calls for
+/// the same leaf (the hot path of MSS epoch signing, which cycles through
+/// a tiny slot set, and of SRDS key-board attestation) return a cached
+/// sibling path. The cache is shared across clones (the node levels are
+/// immutable once built) and its hit/miss counters are process-wide, via
+/// [`proof_cache_stats`].
 #[derive(Clone, Debug)]
 pub struct MerkleTree {
     // levels[0] = leaf digests, levels.last() = [root]
     levels: Vec<Vec<Digest>>,
+    // index → assembled sibling path; shared by clones of this tree.
+    proofs: Arc<Mutex<HashMap<usize, MerkleProof>>>,
 }
 
 impl MerkleTree {
@@ -84,7 +117,10 @@ impl MerkleTree {
             }
             levels.push(next);
         }
-        MerkleTree { levels }
+        MerkleTree {
+            levels,
+            proofs: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The Merkle root.
@@ -111,13 +147,19 @@ impl MerkleTree {
         self.levels[0][index]
     }
 
-    /// Produces an inclusion proof for the `index`-th leaf.
+    /// Produces an inclusion proof for the `index`-th leaf, memoized per
+    /// index (the internal sibling nodes never change after construction).
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
     pub fn prove(&self, index: usize) -> MerkleProof {
         assert!(index < self.len(), "leaf index {index} out of bounds");
+        if let Some(proof) = self.proofs.lock().expect("cache poisoned").get(&index) {
+            PROOF_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return proof.clone();
+        }
+        PROOF_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
         let mut path = Vec::with_capacity(self.levels.len().saturating_sub(1));
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
@@ -126,10 +168,15 @@ impl MerkleTree {
             path.push(sibling);
             idx >>= 1;
         }
-        MerkleProof {
+        let proof = MerkleProof {
             leaf_index: index as u64,
             path,
-        }
+        };
+        self.proofs
+            .lock()
+            .expect("cache poisoned")
+            .insert(index, proof.clone());
+        proof
     }
 }
 
@@ -274,5 +321,27 @@ mod tests {
         let tree = MerkleTree::from_leaves(leaves(16).iter());
         let p = tree.prove(5);
         assert_eq!(p.encoded_len(), 16 + 4 * 32);
+    }
+
+    #[test]
+    fn repeated_proofs_hit_the_cache() {
+        let tree = MerkleTree::from_leaves(leaves(16).iter());
+        // Counters are process-wide and other tests may run concurrently,
+        // so assert only monotone lower bounds attributable to this tree.
+        let (h0, m0) = proof_cache_stats();
+        let first = tree.prove(5);
+        let (_, m1) = proof_cache_stats();
+        assert!(m1 > m0, "first proof is a miss");
+        let second = tree.prove(5);
+        let (h2, _) = proof_cache_stats();
+        assert_eq!(first, second);
+        assert!(h2 > h0, "second identical proof hits");
+
+        // Clones share the cache: the clone's first proof for 5 also hits.
+        let clone = tree.clone();
+        let third = clone.prove(5);
+        let (h3, _) = proof_cache_stats();
+        assert_eq!(first, third);
+        assert!(h3 > h2);
     }
 }

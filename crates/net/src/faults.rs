@@ -691,7 +691,7 @@ mod tests {
         let corrupted: BTreeSet<PartyId> = corrupt.iter().copied().map(PartyId).collect();
         let mut adversary = spec.build(corrupted.clone(), n as usize, &Prg::from_seed_bytes(b"f"));
         let mut net = Network::new(n as usize);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> = (0..n)
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> = (0..n)
             .map(PartyId)
             .filter(|i| !corrupted.contains(i))
             .map(|i| {
@@ -702,7 +702,7 @@ mod tests {
                         n,
                         seen: BTreeSet::new(),
                         rounds: 0,
-                    }) as Box<dyn Machine>,
+                    }) as Box<dyn Machine + Send>,
                 )
             })
             .collect();

@@ -43,5 +43,7 @@ pub mod runner;
 
 pub use envelope::{Envelope, PartyId};
 pub use metrics::{MetricsTable, Report};
-pub use network::{Ctx, Network};
-pub use runner::{run_phase, AdvSender, Adversary, Machine, PhaseOutcome, SilentAdversary};
+pub use network::{Ctx, Network, RoundEffects};
+pub use runner::{
+    run_phase, run_phase_threaded, AdvSender, Adversary, Machine, PhaseOutcome, SilentAdversary,
+};

@@ -194,6 +194,25 @@ impl Report {
     pub fn max_bits_per_party(&self) -> u64 {
         self.max_bytes_per_party * 8
     }
+
+    /// Renders the report as a JSON object — used by the perf harness to
+    /// embed metric snapshots in `BENCH_*.json` without a serde dependency
+    /// (the container is offline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"parties\":{},\"max_bytes_per_party\":{},\"max_bytes_sent\":{},\
+             \"total_bytes\":{},\"total_msgs\":{},\"max_msgs_per_party\":{},\
+             \"max_locality\":{},\"rounds\":{}}}",
+            self.parties,
+            self.max_bytes_per_party,
+            self.max_bytes_sent,
+            self.total_bytes,
+            self.total_msgs,
+            self.max_msgs_per_party,
+            self.max_locality,
+            self.rounds
+        )
+    }
 }
 
 impl fmt::Display for Report {

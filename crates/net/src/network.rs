@@ -12,10 +12,67 @@
 //!   receiver communication only when the receiver *processes* it (reads the
 //!   payload via [`Ctx::read`]); filtered messages are dropped for free, as
 //!   in the message-filtering model the paper builds on.
+//!
+//! # Buffered contexts and deterministic parallelism
+//!
+//! A [`Ctx`] normally mutates the [`Network`] directly. For the parallel
+//! round engine ([`crate::runner::run_phase_threaded`]) a context can
+//! instead *buffer* its effects — sends and receive charges — into a
+//! [`RoundEffects`] value owned by the calling worker thread. Replaying the
+//! per-party effect logs against the network in ascending [`PartyId`] order
+//! performs **exactly the same `Network` mutations in exactly the same
+//! order** as the sequential schedule (which also steps parties in
+//! ascending id order), so staged-envelope order, metric totals, and the
+//! adversary's rushing view are byte-identical regardless of how many
+//! worker threads ran the machines.
 
 use crate::envelope::{Envelope, PartyId};
 use crate::metrics::{MetricsTable, Report};
 use pba_crypto::codec::{decode_from_slice, Decode, Encode};
+use pba_crypto::{Digest, Sha256};
+
+/// One buffered network mutation (see [`RoundEffects`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Effect {
+    /// A staged envelope (sender pays on replay, exactly as in
+    /// [`Network::stage`]).
+    Send(Envelope),
+    /// A receiver-side processing charge, exactly as in
+    /// [`Ctx::charge_receive`].
+    Receive {
+        to: PartyId,
+        from: PartyId,
+        bytes: usize,
+    },
+}
+
+/// The ordered effect log of one party's round, produced by a buffered
+/// [`Ctx`] and replayed with [`Network::apply_effects`].
+///
+/// The log preserves the exact interleaving of sends and receive charges
+/// the machine performed, so replaying it is indistinguishable from having
+/// run the machine against the network directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundEffects {
+    ops: Vec<Effect>,
+}
+
+impl RoundEffects {
+    /// An empty effect log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations were buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
 
 /// The simulated synchronous network for one protocol execution.
 #[derive(Debug)]
@@ -24,6 +81,10 @@ pub struct Network {
     metrics: MetricsTable,
     /// Envelopes sent this round, delivered next round.
     staged: Vec<Envelope>,
+    /// When enabled, a chained per-round digest of every delivered batch —
+    /// entry `i` commits to rounds `0..=i`, so the first index at which two
+    /// transcripts differ names the first diverging round.
+    transcript: Option<Vec<Digest>>,
 }
 
 impl Network {
@@ -33,6 +94,7 @@ impl Network {
             n,
             metrics: MetricsTable::new(n),
             staged: Vec::new(),
+            transcript: None,
         }
     }
 
@@ -61,6 +123,23 @@ impl Network {
         self.metrics.report()
     }
 
+    /// Starts recording the delivery transcript: every subsequent
+    /// [`Network::take_staged`] appends a digest chaining the previous
+    /// entry with the full delivered batch (sender, receiver, payload).
+    pub fn enable_transcript(&mut self) {
+        if self.transcript.is_none() {
+            self.transcript = Some(Vec::new());
+        }
+    }
+
+    /// The recorded delivery transcript (`None` unless
+    /// [`Network::enable_transcript`] was called). Entry `i` is a running
+    /// hash over all batches delivered up to and including the `i`-th
+    /// [`Network::take_staged`].
+    pub fn transcript(&self) -> Option<&[Digest]> {
+        self.transcript.as_deref()
+    }
+
     /// Stages an envelope for next-round delivery, charging the sender.
     ///
     /// # Panics
@@ -77,9 +156,36 @@ impl Network {
         self.staged.push(env);
     }
 
+    /// Replays a buffered effect log against the network, in the exact
+    /// order the operations were performed. Sends go through
+    /// [`Network::stage`] (range checks and sender charges included);
+    /// receive charges hit the metrics table directly, as
+    /// [`Ctx::charge_receive`] does.
+    pub fn apply_effects(&mut self, effects: RoundEffects) {
+        for op in effects.ops {
+            match op {
+                Effect::Send(env) => self.stage(env),
+                Effect::Receive { to, from, bytes } => self.metrics.record_receive(to, from, bytes),
+            }
+        }
+    }
+
     /// Takes all staged envelopes (the runner calls this at round boundary).
     pub fn take_staged(&mut self) -> Vec<Envelope> {
-        std::mem::take(&mut self.staged)
+        let batch = std::mem::take(&mut self.staged);
+        if let Some(entries) = &mut self.transcript {
+            let mut h = Sha256::new();
+            h.update(b"net-transcript");
+            h.update(entries.last().map_or(&[0u8; 32][..], |d| d.as_bytes()));
+            for env in &batch {
+                h.update(&env.from.0.to_le_bytes());
+                h.update(&env.to.0.to_le_bytes());
+                h.update(&(env.len() as u64).to_le_bytes());
+                h.update(&env.payload);
+            }
+            entries.push(h.finalize());
+        }
+        batch
     }
 
     /// Peeks at the staged envelopes without consuming them — used by the
@@ -100,20 +206,48 @@ impl Network {
         Ctx {
             id,
             round,
-            net: self,
+            backend: Backend::Direct(self),
         }
     }
+}
+
+/// How a [`Ctx`] realizes its operations: against the live network, or
+/// into a thread-local effect buffer.
+#[derive(Debug)]
+enum Backend<'a> {
+    Direct(&'a mut Network),
+    Buffered {
+        n: usize,
+        effects: &'a mut RoundEffects,
+    },
 }
 
 /// Per-party, per-round API handed to protocol machines.
 ///
 /// All communication flows through this context so that accounting is exact:
 /// [`Ctx::send`] charges the sender; [`Ctx::read`] charges the receiver.
+///
+/// The context never exposes intermediate network state (staged traffic or
+/// running metrics) to the machine, which is what makes the buffered
+/// backend observationally identical to the direct one.
 #[derive(Debug)]
 pub struct Ctx<'a> {
     id: PartyId,
     round: u64,
-    net: &'a mut Network,
+    backend: Backend<'a>,
+}
+
+impl<'a> Ctx<'a> {
+    /// A buffering context for `id`: sends and receive charges accumulate
+    /// into `effects` instead of mutating a network. `n` is the party
+    /// count of the network the effects will later be applied to.
+    pub fn buffered(id: PartyId, round: u64, n: usize, effects: &'a mut RoundEffects) -> Self {
+        Ctx {
+            id,
+            round,
+            backend: Backend::Buffered { n, effects },
+        }
+    }
 }
 
 impl Ctx<'_> {
@@ -129,7 +263,10 @@ impl Ctx<'_> {
 
     /// Number of parties on the network.
     pub fn n(&self) -> usize {
-        self.net.len()
+        match &self.backend {
+            Backend::Direct(net) => net.len(),
+            Backend::Buffered { n, .. } => *n,
+        }
     }
 
     /// Sends an encodable message to `to`, charged to this party.
@@ -139,8 +276,22 @@ impl Ctx<'_> {
     }
 
     /// Sends raw payload bytes to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range (in buffered mode the check runs
+    /// eagerly so the failure surfaces in the machine's own round, exactly
+    /// as it would against the live network).
     pub fn send_raw(&mut self, to: PartyId, payload: Vec<u8>) {
-        self.net.stage(Envelope::new(self.id, to, payload));
+        let env = Envelope::new(self.id, to, payload);
+        match &mut self.backend {
+            Backend::Direct(net) => net.stage(env),
+            Backend::Buffered { n, effects } => {
+                assert!(env.from.index() < *n, "sender {} out of range", env.from);
+                assert!(env.to.index() < *n, "receiver {} out of range", env.to);
+                effects.ops.push(Effect::Send(env));
+            }
+        }
     }
 
     /// Processes an incoming envelope: charges this party for receiving it
@@ -156,9 +307,14 @@ impl Ctx<'_> {
     /// Charges this party for processing `env` without decoding.
     pub fn charge_receive(&mut self, env: &Envelope) {
         debug_assert_eq!(env.to, self.id, "processing someone else's mail");
-        self.net
-            .metrics
-            .record_receive(self.id, env.from, env.len());
+        match &mut self.backend {
+            Backend::Direct(net) => net.metrics.record_receive(self.id, env.from, env.len()),
+            Backend::Buffered { effects, .. } => effects.ops.push(Effect::Receive {
+                to: self.id,
+                from: env.from,
+                bytes: env.len(),
+            }),
+        }
     }
 }
 
@@ -219,5 +375,64 @@ mod tests {
     fn out_of_range_receiver_panics() {
         let mut net = Network::new(1);
         net.stage(Envelope::new(PartyId(0), PartyId(5), vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn buffered_out_of_range_receiver_panics() {
+        let mut fx = RoundEffects::new();
+        let mut ctx = Ctx::buffered(PartyId(0), 0, 1, &mut fx);
+        ctx.send_raw(PartyId(5), vec![]);
+    }
+
+    #[test]
+    fn buffered_effects_replay_identically() {
+        // One party performing the same interleaved ops directly and via a
+        // buffer must leave the network in an identical state.
+        let inbox = Envelope::new(PartyId(1), PartyId(0), vec![7; 5]);
+        let script = |ctx: &mut Ctx<'_>| {
+            ctx.send(PartyId(1), &1u64);
+            ctx.charge_receive(&inbox);
+            ctx.send_raw(PartyId(1), vec![9; 3]);
+        };
+
+        let mut direct = Network::new(2);
+        script(&mut direct.ctx(PartyId(0), 0));
+
+        let mut buffered = Network::new(2);
+        let mut fx = RoundEffects::new();
+        script(&mut Ctx::buffered(PartyId(0), 0, 2, &mut fx));
+        assert_eq!(fx.len(), 3);
+        buffered.apply_effects(fx);
+
+        assert_eq!(direct.staged(), buffered.staged());
+        assert_eq!(direct.report(), buffered.report());
+    }
+
+    #[test]
+    fn transcript_chains_delivered_batches() {
+        let mut a = Network::new(2);
+        let mut b = Network::new(2);
+        a.enable_transcript();
+        b.enable_transcript();
+        for net in [&mut a, &mut b] {
+            net.stage(Envelope::new(PartyId(0), PartyId(1), vec![1]));
+            net.take_staged();
+            net.stage(Envelope::new(PartyId(1), PartyId(0), vec![2]));
+            net.take_staged();
+        }
+        assert_eq!(a.transcript(), b.transcript());
+        assert_eq!(a.transcript().unwrap().len(), 2);
+
+        // A divergence in round 1 shows up at index 1, not index 0.
+        let mut c = Network::new(2);
+        c.enable_transcript();
+        c.stage(Envelope::new(PartyId(0), PartyId(1), vec![1]));
+        c.take_staged();
+        c.stage(Envelope::new(PartyId(1), PartyId(0), vec![3]));
+        c.take_staged();
+        let (ta, tc) = (a.transcript().unwrap(), c.transcript().unwrap());
+        assert_eq!(ta[0], tc[0]);
+        assert_ne!(ta[1], tc[1]);
     }
 }

@@ -12,9 +12,23 @@
 //! messages for that round. Corruption is static during the online phase
 //! (chosen adaptively during setup, per the paper's model — that choice
 //! happens before the runner is invoked).
+//!
+//! # Parallel execution
+//!
+//! Within a round, honest parties are independent: each machine sees only
+//! its own inbox (delivered last round) and its own state, and its effects
+//! on the network (sends, receive charges) commute with nothing until the
+//! round boundary. [`run_phase_threaded`] exploits this: machines run
+//! across [`std::thread::scope`] workers with *buffered* contexts
+//! ([`crate::network::RoundEffects`]), and the per-party effect logs are
+//! replayed against the network in ascending [`PartyId`] order — the same
+//! order the sequential engine steps parties in. The result is
+//! byte-identical to [`run_phase`]: identical staged-envelope order,
+//! identical metrics, and an identical rushing view for the adversary,
+//! which always runs on the calling thread after the merge.
 
 use crate::envelope::{Envelope, PartyId};
-use crate::network::Network;
+use crate::network::{Ctx, Network, RoundEffects};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A per-party protocol state machine for one phase.
@@ -41,6 +55,11 @@ impl<M: Machine + ?Sized> Machine for &mut M {
 
 /// The adversary's interface for one phase: full control of all corrupted
 /// parties, rushing observation, arbitrary (byte-level) message injection.
+///
+/// Adversaries always run on the phase-driving thread (they need no `Send`
+/// bound), after every honest machine's effects have been merged — the
+/// rushing view is therefore identical under sequential and parallel honest
+/// execution.
 pub trait Adversary {
     /// The set of statically corrupted parties.
     fn corrupted(&self) -> &BTreeSet<PartyId>;
@@ -149,7 +168,8 @@ pub struct PhaseOutcome {
     pub completed: bool,
 }
 
-/// Runs one phase to completion (all honest machines done) or `max_rounds`.
+/// Runs one phase sequentially — equivalent to [`run_phase_threaded`] with
+/// one worker.
 ///
 /// `machines` holds the honest parties' state machines keyed by identity;
 /// corrupted identities must not appear in it.
@@ -159,9 +179,34 @@ pub struct PhaseOutcome {
 /// Panics if a corrupted identity appears among the honest machines.
 pub fn run_phase(
     net: &mut Network,
-    machines: &mut BTreeMap<PartyId, Box<dyn Machine + '_>>,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
     adversary: &mut dyn Adversary,
     max_rounds: u64,
+) -> PhaseOutcome {
+    run_phase_threaded(net, machines, adversary, max_rounds, 1)
+}
+
+/// Runs one phase to completion (all honest machines done) or `max_rounds`,
+/// stepping honest machines across up to `threads` scoped worker threads.
+///
+/// `threads <= 1` is the plain sequential engine. For `threads > 1`, each
+/// round's honest machines are split into contiguous ascending-id chunks;
+/// every worker runs its chunk against buffered contexts, and the buffered
+/// effects are merged in ascending [`PartyId`] order before the adversary
+/// acts. The execution — outcome, staged-envelope transcript, metrics, and
+/// adversary observations — is bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if a corrupted identity appears among the honest machines, or if
+/// a machine panics on a worker thread (the payload is resumed on the
+/// calling thread).
+pub fn run_phase_threaded(
+    net: &mut Network,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
+    adversary: &mut dyn Adversary,
+    max_rounds: u64,
+    threads: usize,
 ) -> PhaseOutcome {
     for id in machines.keys() {
         assert!(
@@ -186,10 +231,14 @@ pub fn run_phase(
         }
 
         // Honest parties act first.
-        for (&id, machine) in machines.iter_mut() {
-            let inbox = inboxes.remove(&id).unwrap_or_default();
-            let mut ctx = net.ctx(id, rounds - 1);
-            machine.on_round(&mut ctx, &inbox);
+        if threads <= 1 || machines.len() <= 1 {
+            for (&id, machine) in machines.iter_mut() {
+                let inbox = inboxes.remove(&id).unwrap_or_default();
+                let mut ctx = net.ctx(id, rounds - 1);
+                machine.on_round(&mut ctx, &inbox);
+            }
+        } else {
+            step_machines_parallel(net, machines, &mut inboxes, rounds - 1, threads);
         }
 
         // Rushing: adversary sees this round's honest messages to corrupted
@@ -224,6 +273,58 @@ pub fn run_phase(
         }
     }
     PhaseOutcome { rounds, completed }
+}
+
+/// One parallel honest step: machines run on scoped workers with buffered
+/// contexts; effects merge in ascending id order (= sequential order, since
+/// the item list comes from a sorted map and chunks are contiguous).
+fn step_machines_parallel(
+    net: &mut Network,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
+    inboxes: &mut BTreeMap<PartyId, Vec<Envelope>>,
+    round: u64,
+    threads: usize,
+) {
+    let n = net.len();
+    let mut items: Vec<(PartyId, &mut (dyn Machine + Send), Vec<Envelope>)> = machines
+        .iter_mut()
+        .map(|(&id, machine)| {
+            let inbox = inboxes.remove(&id).unwrap_or_default();
+            (id, machine.as_mut(), inbox)
+        })
+        .collect();
+    let chunk_len = items.len().div_ceil(threads.max(1));
+    let mut batches: Vec<Vec<RoundEffects>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|(id, machine, inbox)| {
+                            let mut effects = RoundEffects::new();
+                            let mut ctx = Ctx::buffered(*id, round, n, &mut effects);
+                            machine.on_round(&mut ctx, inbox);
+                            effects
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(batch) => batches.push(batch),
+                // Re-raise machine panics with their original payload so
+                // `should_panic` expectations and chaos harnesses see the
+                // same message as under sequential execution.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    for effects in batches.into_iter().flatten() {
+        net.apply_effects(effects);
+    }
 }
 
 #[cfg(test)]
@@ -269,11 +370,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn ring_relay_terminates() {
-        let n = 4u64;
-        let mut net = Network::new(n as usize);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> = (0..n)
+    fn ring_machines(n: u64) -> BTreeMap<PartyId, Box<dyn Machine + Send>> {
+        (0..n)
             .map(|i| {
                 (
                     PartyId(i),
@@ -282,10 +380,17 @@ mod tests {
                         n,
                         value: None,
                         done: false,
-                    }) as Box<dyn Machine>,
+                    }) as Box<dyn Machine + Send>,
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn ring_relay_terminates() {
+        let n = 4u64;
+        let mut net = Network::new(n as usize);
+        let mut machines = ring_machines(n);
         let mut adv = SilentAdversary::default();
         let out = run_phase(&mut net, &mut machines, &mut adv, 20);
         assert!(out.completed);
@@ -293,6 +398,33 @@ mod tests {
         // 3 sends 5 to 0 (r3), 0 is already done → all done detected r4.
         assert!(out.rounds <= 6);
         assert_eq!(net.report().total_msgs, 4);
+    }
+
+    #[test]
+    fn parallel_ring_matches_sequential() {
+        for threads in [2, 3, 7] {
+            let n = 6u64;
+            let mut seq_net = Network::new(n as usize);
+            seq_net.enable_transcript();
+            let mut seq_machines = ring_machines(n);
+            let mut adv = SilentAdversary::default();
+            let seq_out = run_phase(&mut seq_net, &mut seq_machines, &mut adv, 20);
+
+            let mut par_net = Network::new(n as usize);
+            par_net.enable_transcript();
+            let mut par_machines = ring_machines(n);
+            let mut adv = SilentAdversary::default();
+            let par_out =
+                run_phase_threaded(&mut par_net, &mut par_machines, &mut adv, 20, threads);
+
+            assert_eq!(seq_out, par_out, "threads={threads}");
+            assert_eq!(seq_net.report(), par_net.report(), "threads={threads}");
+            assert_eq!(
+                seq_net.transcript(),
+                par_net.transcript(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
@@ -305,8 +437,8 @@ mod tests {
             }
         }
         let mut net = Network::new(1);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> =
-            [(PartyId(0), Box::new(Never) as Box<dyn Machine>)].into();
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> =
+            [(PartyId(0), Box::new(Never) as Box<dyn Machine + Send>)].into();
         let mut adv = SilentAdversary::default();
         let out = run_phase(&mut net, &mut machines, &mut adv, 3);
         assert!(!out.completed);
@@ -351,9 +483,9 @@ mod tests {
             }
         }
         let mut net = Network::new(2);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> = [(
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> = [(
             PartyId(0),
-            Box::new(Selective { got_junk: false }) as Box<dyn Machine>,
+            Box::new(Selective { got_junk: false }) as Box<dyn Machine + Send>,
         )]
         .into();
         let mut adv = Flooder {
@@ -393,12 +525,34 @@ mod tests {
             }
         }
         let mut net = Network::new(3);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> =
-            [(PartyId(0), Box::new(Idle) as Box<dyn Machine>)].into();
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> =
+            [(PartyId(0), Box::new(Idle) as Box<dyn Machine + Send>)].into();
         let mut adv = Spoofer {
             corrupted: [PartyId(2)].into(),
         };
         run_phase(&mut net, &mut machines, &mut adv, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worker_panic_payload_is_preserved() {
+        // A machine panicking on a worker thread must surface the original
+        // message on the caller, exactly as in sequential mode.
+        struct BadSender;
+        impl Machine for BadSender {
+            fn on_round(&mut self, ctx: &mut Ctx<'_>, _: &[Envelope]) {
+                ctx.send_raw(PartyId(99), vec![]);
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let mut net = Network::new(2);
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> = (0..2)
+            .map(|i| (PartyId(i), Box::new(BadSender) as Box<dyn Machine + Send>))
+            .collect();
+        let mut adv = SilentAdversary::default();
+        run_phase_threaded(&mut net, &mut machines, &mut adv, 2, 2);
     }
 
     #[test]
@@ -412,8 +566,8 @@ mod tests {
             }
         }
         let mut net = Network::new(1);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> =
-            [(PartyId(0), Box::new(Idle) as Box<dyn Machine>)].into();
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> =
+            [(PartyId(0), Box::new(Idle) as Box<dyn Machine + Send>)].into();
         let mut adv = SilentAdversary::new([PartyId(0)]);
         run_phase(&mut net, &mut machines, &mut adv, 1);
     }

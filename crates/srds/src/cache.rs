@@ -1,0 +1,115 @@
+//! A verified-certificate cache for SRDS aggregation.
+//!
+//! During a `π_ba` session the *same* aggregation certificate is verified
+//! many times: [`crate::snark::SnarkSrds`] re-checks every incoming
+//! `Agg` certificate inside `Aggregate₁` at **every** tree level, and the
+//! final root certificate is verified once per receiving party during the
+//! PRF spread — Θ(n) verifications of byte-identical input. PCD
+//! verification is deterministic for a fixed CRS, so its verdict can be
+//! memoized: the cache maps a digest of (CRS id, statement, proof) to the
+//! boolean verdict.
+//!
+//! The cache lives inside the scheme value (one per session in practice),
+//! so verdicts never leak across CRS instances; the hit/miss counters are
+//! process-wide so harnesses can observe aggregate hit rates via
+//! [`cert_cache_stats`].
+
+use pba_crypto::sha256::Digest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static CERT_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CERT_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-wide certificate-verification cache.
+pub fn cert_cache_stats() -> (u64, u64) {
+    (
+        CERT_CACHE_HITS.load(Ordering::Relaxed),
+        CERT_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the process-wide certificate-cache counters (perf-harness runs
+/// only — tests asserting monotonicity must not race with this).
+pub fn reset_cert_cache_stats() {
+    CERT_CACHE_HITS.store(0, Ordering::Relaxed);
+    CERT_CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Memoizes deterministic verification verdicts keyed by an input digest.
+///
+/// The caller is responsible for making the key collision-resistantly
+/// cover *everything* the verdict depends on (for SNARK-SRDS: the CRS
+/// public id, the full statement, and the proof bytes).
+#[derive(Debug, Default)]
+pub struct CertCache {
+    verdicts: Mutex<HashMap<Digest, bool>>,
+}
+
+impl CertCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached verdict for `key`, or runs `verify`, caches its
+    /// verdict, and returns it.
+    pub fn get_or_verify(&self, key: Digest, verify: impl FnOnce() -> bool) -> bool {
+        if let Some(&verdict) = self.verdicts.lock().expect("cache poisoned").get(&key) {
+            CERT_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        CERT_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let verdict = verify();
+        self.verdicts
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, verdict);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_crypto::sha256::Sha256;
+
+    #[test]
+    fn caches_both_verdicts_and_counts() {
+        let cache = CertCache::new();
+        let yes = Sha256::digest(b"good");
+        let no = Sha256::digest(b"bad");
+        let mut calls = 0;
+        let (h0, m0) = cert_cache_stats();
+
+        assert!(cache.get_or_verify(yes, || {
+            calls += 1;
+            true
+        }));
+        assert!(!cache.get_or_verify(no, || {
+            calls += 1;
+            false
+        }));
+        assert_eq!(calls, 2);
+
+        // Second lookups never re-run the verifier, for either verdict.
+        assert!(cache.get_or_verify(yes, || unreachable!("cached")));
+        assert!(!cache.get_or_verify(no, || unreachable!("cached")));
+        assert_eq!(cache.len(), 2);
+
+        let (h1, m1) = cert_cache_stats();
+        assert!(h1 >= h0 + 2);
+        assert!(m1 >= m0 + 2);
+    }
+}

@@ -12,13 +12,18 @@
 //! * [`snark`] — SRDS from CRH + SNARKs in the bare-PKI + CRS model
 //!   (Theorem 2.8): Merkle-indexed keys + proof-carrying-data counting;
 //! * [`experiments`] — executable robustness (Fig. 1) and forgery (Fig. 2)
-//!   games against pluggable adversaries.
+//!   games against pluggable adversaries;
+//! * [`cache`] — the per-session verified-certificate cache that stops
+//!   identical aggregation certificates from being re-verified at every
+//!   tree level.
+pub mod cache;
 pub mod experiments;
 pub mod multisig;
 pub mod owf;
 pub mod snark;
 pub mod traits;
 
+pub use cache::{cert_cache_stats, CertCache};
 pub use multisig::MultisigSrds;
 pub use owf::OwfSrds;
 pub use snark::SnarkSrds;

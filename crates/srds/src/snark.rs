@@ -65,20 +65,35 @@ impl Default for SnarkSrdsConfig {
 }
 
 /// The CRH + SNARK / bare-PKI SRDS scheme.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Carries a per-scheme (in practice: per-session) verified-certificate
+/// cache — PCD verification is deterministic for a fixed CRS, and the same
+/// certificate reaches `Aggregate₁` at every tree level and `Verify` at
+/// every receiving party, so verdicts are memoized. Clones share the
+/// cache.
+#[derive(Clone, Debug, Default)]
 pub struct SnarkSrds {
     config: SnarkSrdsConfig,
+    cert_cache: std::sync::Arc<crate::cache::CertCache>,
 }
 
 impl SnarkSrds {
     /// Creates the scheme with explicit tunables.
     pub fn new(config: SnarkSrdsConfig) -> Self {
-        SnarkSrds { config }
+        SnarkSrds {
+            config,
+            cert_cache: Default::default(),
+        }
     }
 
     /// Creates the scheme with default tunables.
     pub fn with_defaults() -> Self {
         Self::default()
+    }
+
+    /// Number of distinct certificates whose verdicts are cached.
+    pub fn cached_certificates(&self) -> usize {
+        self.cert_cache.len()
     }
 }
 
@@ -397,6 +412,30 @@ impl SnarkSrds {
         PcdSystem::new(pp.crs.clone(), SrdsPredicate { mss: pp.mss })
     }
 
+    /// PCD verification through the per-session verdict cache. The key
+    /// covers everything the (deterministic) verdict depends on: the CRS
+    /// public id, the full statement, and the proof bytes.
+    fn cached_cert_verify(
+        &self,
+        pp: &SnarkPublicParams,
+        pcd: &PcdSystem<SrdsPredicate>,
+        statement: &AggStatement,
+        proof: &PcdProof,
+    ) -> bool {
+        let mut h = Sha256::new();
+        h.update(b"srds-cert-cache");
+        h.update(pp.crs.public_id().as_bytes());
+        h.update(statement.m_digest.as_bytes());
+        h.update(statement.vk_root.as_bytes());
+        h.update(&statement.count.to_le_bytes());
+        h.update(&statement.lo.to_le_bytes());
+        h.update(&statement.hi.to_le_bytes());
+        h.update(statement.acc.as_bytes());
+        h.update(proof.as_bytes());
+        self.cert_cache
+            .get_or_verify(h.finalize(), || pcd.verify(statement, proof))
+    }
+
     fn message_digest(message: &[u8]) -> Digest {
         let mut h = Sha256::new();
         h.update(b"srds-message");
@@ -646,7 +685,7 @@ impl Srds for SnarkSrds {
                         hi: cert.hi,
                         acc: cert.acc,
                     };
-                    if pcd.verify(&statement, &cert.proof) {
+                    if self.cached_cert_verify(pp, &pcd, &statement, &cert.proof) {
                         certs.push(cert.clone());
                     }
                 }
@@ -770,7 +809,7 @@ impl Srds for SnarkSrds {
             hi: cert.hi,
             acc: cert.acc,
         };
-        self.pcd(pp).verify(&statement, &cert.proof)
+        self.cached_cert_verify(pp, &self.pcd(pp), &statement, &cert.proof)
     }
 
     fn min_index(&self, sig: &SnarkSignature) -> u64 {

@@ -79,9 +79,9 @@ proptest! {
             .map(|&p| (p, PhaseKing::new(committee.clone(), p, (p.0 % 2) as u8)))
             .collect();
         {
-            let mut erased: BTreeMap<PartyId, Box<dyn Machine + '_>> = machines
+            let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
                 .iter_mut()
-                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + '_>))
+                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
                 .collect();
             let outcome = run_phase(&mut net, &mut erased, &mut adversary, rounds_for(c) + 6);
             prop_assert!(outcome.completed, "phase-king hung under fuzzing");
@@ -131,8 +131,8 @@ proptest! {
             }
         }
         let mut net = Network::new(2);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> =
-            [(PartyId(0), Box::new(Mute) as Box<dyn Machine>)].into();
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> =
+            [(PartyId(0), Box::new(Mute) as Box<dyn Machine + Send>)].into();
         let mut adversary = FuzzAdversary {
             corrupted: [PartyId(1)].into(),
             n: 2,
@@ -232,8 +232,8 @@ proptest! {
         ][strategy].clone();
         let mut adversary = spec.build(corrupted, n, &Prg::from_seed_bytes(&seed));
         let mut net = Network::new(n);
-        let mut machines: BTreeMap<PartyId, Box<dyn Machine>> = (0..4u64)
-            .map(|i| (PartyId(i), Box::new(Probe { rounds: 0 }) as Box<dyn Machine>))
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> = (0..4u64)
+            .map(|i| (PartyId(i), Box::new(Probe { rounds: 0 }) as Box<dyn Machine + Send>))
             .collect();
         let outcome = run_phase(&mut net, &mut machines, adversary.as_mut(), 8);
         prop_assert!(outcome.completed, "probes hung under {}", spec.label());

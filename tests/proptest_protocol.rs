@@ -28,6 +28,7 @@ proptest! {
             seed: seed.to_vec(),
             establishment: pba_core::protocol::Establishment::Charged,
             chaos: None,
+            threads: 1,
         };
         let inputs: Vec<u8> = if unanimous {
             vec![bit; n]
@@ -59,6 +60,7 @@ proptest! {
             seed: seed.to_vec(),
             establishment: pba_core::protocol::Establishment::Charged,
             chaos: None,
+            threads: 1,
         };
         let out = run_ba(&scheme, &config, &vec![bit; n]);
         prop_assert!(out.agreement, "outputs: {:?}", out.outputs);
