@@ -34,6 +34,7 @@
 //! ```
 
 use crate::tree::Tree;
+use pba_net::wire;
 use pba_net::{Network, PartyId};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
@@ -169,11 +170,24 @@ pub fn disseminate(
                     };
                     if let Some(bytes) = value {
                         let committee = tree.committee(child_level, child).to_vec();
+                        // Relay copies keep their typed headers, so the
+                        // per-copy charge lands in the payload's own
+                        // tag/step bucket (ValueSeed → step 3,
+                        // Certificate → step 6, headerless → untyped).
+                        let relay_tag = wire::peek_tag(&bytes);
                         for (si, &recipient) in committee.iter().enumerate() {
-                            net.metrics_mut()
-                                .record_send(member, recipient, bytes.len());
-                            net.metrics_mut()
-                                .record_receive(recipient, member, bytes.len());
+                            net.metrics_mut().record_send_tagged(
+                                member,
+                                recipient,
+                                bytes.len(),
+                                relay_tag,
+                            );
+                            net.metrics_mut().record_receive_tagged(
+                                recipient,
+                                member,
+                                bytes.len(),
+                                relay_tag,
+                            );
                             inbox[child][si].push(Rc::clone(&bytes));
                         }
                     }
@@ -234,8 +248,12 @@ pub fn charge_establishment(net: &mut Network, tree: &Tree) {
     let bytes = (params.committee_size * params.height * 64) as u64;
     let msgs = (params.committee_size * params.height) as u64;
     for p in 0..params.n {
-        net.metrics_mut()
-            .charge_synthetic(PartyId::from(p), bytes, msgs);
+        net.metrics_mut().charge_synthetic_tagged(
+            PartyId::from(p),
+            bytes,
+            msgs,
+            wire::tag::ESTABLISH,
+        );
     }
     for _ in 0..params.height {
         net.bump_round();

@@ -29,6 +29,7 @@
 //! (committee-input fan-in).
 
 use crate::tree::Tree;
+use pba_net::wire::tag;
 use pba_net::{Network, PartyId};
 use std::collections::BTreeSet;
 
@@ -83,7 +84,10 @@ pub fn strict_majority<T: Clone + PartialEq>(copies: &[Option<T>]) -> Option<T> 
 ///   so the closure can meter its own sub-protocol cost);
 /// * `corrupt_copy(level, node, member)` — the copy a corrupted member of
 ///   node `(level, node)` transmits upward (`None` = withhold);
-/// * `len_of` — the metered wire size of a copy.
+/// * `len_of` — the metered wire size of a copy;
+/// * `copy_tag` — the wire tag the child→parent copies are charged under
+///   ([`tag::AGGR_SHARE`] for the SRDS signature ascent,
+///   [`tag::FANIN`] for the plain input fan-in).
 ///
 /// Every honest member's copy travels to every distinct parent-committee
 /// member and is charged on the metrics table as a real envelope, so the
@@ -92,6 +96,7 @@ pub fn strict_majority<T: Clone + PartialEq>(copies: &[Option<T>]) -> Option<T> 
 /// # Panics
 ///
 /// Panics if `leaf_honest` does not have one entry per leaf.
+#[allow(clippy::too_many_arguments)] // the ascent is parameterized over value, adversary, metering, and wire tag
 pub fn ascend<T, F, G, L>(
     net: &mut Network,
     tree: &Tree,
@@ -100,6 +105,7 @@ pub fn ascend<T, F, G, L>(
     mut combine: F,
     mut corrupt_copy: G,
     len_of: L,
+    copy_tag: u8,
 ) -> AscentOutcome<T>
 where
     T: Clone + PartialEq,
@@ -145,8 +151,10 @@ where
                         if receiver == sender {
                             continue;
                         }
-                        net.metrics_mut().record_send(sender, receiver, bytes);
-                        net.metrics_mut().record_receive(receiver, sender, bytes);
+                        net.metrics_mut()
+                            .record_send_tagged(sender, receiver, bytes, copy_tag);
+                        net.metrics_mut()
+                            .record_receive_tagged(receiver, sender, bytes, copy_tag);
                         copies_sent += 1;
                     }
                 }
@@ -224,6 +232,7 @@ pub fn robust_input_fanin(
         |_net, _level, _node, winners| strict_majority(winners),
         |_, _, _| corrupt_value,
         |_| 1,
+        tag::FANIN,
     )
 }
 
@@ -294,6 +303,7 @@ mod tests {
             median_combine,
             |_, _, _| None,
             |_| 8,
+            tag::FANIN,
         );
         assert_eq!(out.root_value, Some(42));
         for row in &out.honest_values {
@@ -315,6 +325,7 @@ mod tests {
             median_combine,
             |_, _, _| None,
             |_| 8,
+            tag::FANIN,
         );
         // Every copy was charged as a real envelope: totals and locality
         // both reflect the dilution factor.
@@ -340,6 +351,7 @@ mod tests {
             vote_combine,
             |_, _, _| Some(666), // colluding evil copy everywhere
             |_| 8,
+            tag::FANIN,
         );
         // Under the voting combine the evil value can never become the
         // root's value: forging it requires out-voting a majority of
@@ -375,6 +387,7 @@ mod tests {
             median_combine,
             |_, _, _| None,
             |_| 8,
+            tag::FANIN,
         );
         assert_eq!(
             out.root_value,
@@ -400,6 +413,7 @@ mod tests {
             median_combine,
             |_, _, _| None,
             |_| 8,
+            tag::FANIN,
         );
         assert_eq!(out.root_value, Some(3));
         // The level-1 parent of leaf 3 still computed the honest value.

@@ -26,7 +26,7 @@ pub mod perf;
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};
 use pba_core::protocol::{run_ba, BaConfig};
 use pba_crypto::codec::{Decode, Encode};
-use pba_net::Report;
+use pba_net::{Report, TagBreakdown};
 use pba_srds::multisig::MultisigSrds;
 use pba_srds::owf::{OwfSrds, OwfSrdsConfig};
 use pba_srds::snark::SnarkSrds;
@@ -47,6 +47,9 @@ pub struct Row {
     pub report: Report,
     /// Certificate size, when the protocol produces one.
     pub certificate: Option<usize>,
+    /// Per-(wire tag) honest byte attribution — populated for the `π_ba`
+    /// stacks, `None` for the analytic baselines.
+    pub breakdown: Option<TagBreakdown>,
 }
 
 /// The protocols measured for Table 1.
@@ -155,6 +158,11 @@ where
         protocol.label()
     );
     assert!(out.validity, "{} n={n}: validity failed", protocol.label());
+    assert!(
+        out.tags_conserved,
+        "{} n={n}: per-tag attribution drifted from per-party totals",
+        protocol.label()
+    );
     Row {
         protocol: protocol.label(),
         setup: protocol.setup(),
@@ -162,6 +170,7 @@ where
         n,
         report: out.report,
         certificate: out.certificate_len,
+        breakdown: Some(out.breakdown),
     }
 }
 
@@ -182,6 +191,7 @@ pub fn measure(protocol: Protocol, n: usize, seed: &[u8]) -> Row {
                 n,
                 report: out.report,
                 certificate: None,
+                breakdown: None,
             }
         }
         Protocol::CommitteeFlood => {
@@ -197,6 +207,7 @@ pub fn measure(protocol: Protocol, n: usize, seed: &[u8]) -> Row {
                 n,
                 report: out.report,
                 certificate: None,
+                breakdown: None,
             }
         }
         Protocol::AllToAll => Row {
@@ -206,6 +217,7 @@ pub fn measure(protocol: Protocol, n: usize, seed: &[u8]) -> Row {
             n,
             report: all_to_all_ba(n, 0, 1),
             certificate: None,
+            breakdown: None,
         },
     }
 }
@@ -293,6 +305,36 @@ pub fn render_table(rows: &[Row]) -> String {
             row.certificate
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out
+}
+
+/// Renders the per-step byte attribution of the `π_ba` rows: for every
+/// row carrying a [`TagBreakdown`], one block of Fig. 3-step lines with
+/// the honest sent bytes and their share of the row's total. The step
+/// rows sum exactly to the row's `total bytes` column (conservation is
+/// asserted when the row is measured).
+pub fn render_breakdown(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let Some(breakdown) = &row.breakdown else {
+            continue;
+        };
+        let total = breakdown.total_sent().max(1);
+        out.push_str(&format!("{}, n={}:\n", row.protocol, row.n));
+        for (label, bytes) in breakdown.sent_by_step_label() {
+            out.push_str(&format!(
+                "  {:<16} {:>14} B  ({:>5.1}%)\n",
+                label,
+                bytes,
+                100.0 * bytes as f64 / total as f64
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<16} {:>14} B\n",
+            "total",
+            breakdown.total_sent()
         ));
     }
     out
@@ -388,5 +430,20 @@ mod tests {
         let table = render_table(&[row]);
         assert!(table.contains("all-to-all"));
         assert!(table.contains("64"));
+    }
+
+    #[test]
+    fn pi_ba_rows_carry_step_breakdown() {
+        let row = measure(Protocol::PiBaSnark, 64, b"bench-test");
+        let breakdown = row.breakdown.as_ref().expect("pi_ba row has breakdown");
+        assert_eq!(breakdown.total_sent(), row.report.total_bytes);
+        let rendered = render_breakdown(std::slice::from_ref(&row));
+        for label in ["1:establish", "3:disseminate", "5:aggregate", "7-8:spread"] {
+            assert!(rendered.contains(label), "missing step row {label}");
+        }
+        // Baseline rows carry no breakdown and render to nothing.
+        let a2a = measure(Protocol::AllToAll, 64, b"bench-test");
+        assert!(a2a.breakdown.is_none());
+        assert!(render_breakdown(std::slice::from_ref(&a2a)).is_empty());
     }
 }

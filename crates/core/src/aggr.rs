@@ -14,6 +14,7 @@
 //! costs: the intra-committee exchange of the input sets plus the
 //! constant-round MPC traffic, all `polylog(n) · poly(κ)` per member.
 
+use pba_net::wire::tag;
 use pba_net::{Network, PartyId};
 use pba_srds::traits::Srds;
 use std::collections::BTreeMap;
@@ -103,9 +104,11 @@ pub fn charge_aggr_round(
             if peer == member {
                 continue;
             }
-            // Step 5b exchange.
-            net.metrics_mut().record_send(member, peer, bytes);
-            net.metrics_mut().record_receive(peer, member, bytes);
+            // Step 5b exchange: signature-share sets between members.
+            net.metrics_mut()
+                .record_send_tagged(member, peer, bytes, tag::AGGR_SHARE);
+            net.metrics_mut()
+                .record_receive_tagged(peer, member, bytes, tag::AGGR_SHARE);
         }
         // Constant-round MPC output delivery, charged per concrete link
         // so the aggregate's fan-out is visible in locality and in the
@@ -115,8 +118,13 @@ pub fn charge_aggr_round(
             if peer == member {
                 continue;
             }
-            net.metrics_mut()
-                .charge_synthetic_link(member, peer, output_bytes as u64, 1);
+            net.metrics_mut().charge_synthetic_link_tagged(
+                member,
+                peer,
+                output_bytes as u64,
+                1,
+                tag::AGGR_MPC,
+            );
         }
     }
     // Round accounting is the caller's: all nodes of a tree level run their

@@ -14,19 +14,25 @@
 //!   [`pba_srds::multisig::MultisigSrds`] (the Θ(n) certificate makes the
 //!   per-party cost linear); see the bench harness.
 
-use crate::phase_king::{max_faults, rounds_for, PhaseKing};
+use crate::phase_king::{max_faults, rounds_for, PhaseKing, PkMsg};
+use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
 use pba_crypto::mss::{MssKeyPair, MssParams, MssVerificationKey};
 use pba_crypto::prg::Prg;
 use pba_net::runner::{run_phase, SilentAdversary};
-use pba_net::{Machine, Network, PartyId, Report};
+use pba_net::wire::{self, step, tag};
+use pba_net::{Machine, Network, PartyId, Report, WireMsg};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Above this size, [`all_to_all_ba`] switches from real state machines to
 /// exact analytic metering of the same execution.
 pub const REAL_SIMULATION_LIMIT: usize = 150;
 
-/// Wire size of one phase-king message (`PkMsg<u8>` = tag byte + value).
-const PK_MSG_BYTES: u64 = 2;
+/// Wire size of one phase-king message, measured off the real typed
+/// encoding (`{tag, step}` header + variant byte + value) so the analytic
+/// meter can never drift from what [`all_to_all_ba_real`] charges.
+fn pk_msg_bytes() -> u64 {
+    wire::encoded_msg_len(&PkMsg::Value(0u8)) as u64
+}
 
 /// Runs (or meters) all-to-all phase-king BA with unanimous honest inputs
 /// and `t_silent` crash-faulty parties, returning the communication report.
@@ -80,6 +86,7 @@ pub fn all_to_all_ba_real(n: usize, t_silent: usize, input: u8) -> (Report, Vec<
 /// Exact analytic metering of the honest-case traffic of
 /// [`all_to_all_ba_real`] with `t_silent` silent faults.
 fn all_to_all_ba_metered(n: usize, t_silent: usize) -> Report {
+    let pk_msg_bytes = pk_msg_bytes();
     let t = max_faults(n);
     let phases = (t + 1) as u64;
     let honest = (n - t_silent) as u64;
@@ -88,27 +95,27 @@ fn all_to_all_ba_metered(n: usize, t_silent: usize) -> Report {
     // (unanimous inputs ⇒ the (n − t)-quorum always exists); the phase's
     // king additionally broadcasts King. Receivers process one message per
     // honest peer in each of those rounds.
-    let per_party_sent_base = phases * 2 * peers * PK_MSG_BYTES;
+    let per_party_sent_base = phases * 2 * peers * pk_msg_bytes;
     // A king (honest, in the first t + 1 positions — silent parties are
     // placed last) sends one extra broadcast in its phase.
-    let king_extra = peers * PK_MSG_BYTES;
+    let king_extra = peers * pk_msg_bytes;
     // Received: value+propose from every honest peer per phase, plus the
     // king message (when the king is another party).
-    let per_party_recv = phases * 2 * (honest - 1) * PK_MSG_BYTES + phases * PK_MSG_BYTES;
+    let per_party_recv = phases * 2 * (honest - 1) * pk_msg_bytes + phases * pk_msg_bytes;
 
     let max_bytes_sent = per_party_sent_base + king_extra;
     let total_bytes = honest * per_party_sent_base + phases.min(honest) * king_extra;
     let rounds = 3 * phases + 1;
     // The maximal party is a king: it sends one extra broadcast but does
     // not process its own phase's king message (one fewer receive).
-    let max_combined = max_bytes_sent + per_party_recv - PK_MSG_BYTES;
+    let max_combined = max_bytes_sent + per_party_recv - pk_msg_bytes;
     Report {
         parties: honest,
         max_bytes_per_party: max_combined,
         max_bytes_sent,
         total_bytes,
-        total_msgs: total_bytes / PK_MSG_BYTES,
-        max_msgs_per_party: max_combined / PK_MSG_BYTES,
+        total_msgs: total_bytes / pk_msg_bytes,
+        max_msgs_per_party: max_combined / pk_msg_bytes,
         max_locality: peers,
         rounds,
     }
@@ -228,6 +235,59 @@ pub fn committee_flood_ba(n: usize, t: usize, input: u8, seed: &[u8]) -> Committ
     }
 }
 
+/// A √n-boost poll: "what value do you hold?", carrying the sampler's
+/// nonce so responses can be matched to queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleQuery {
+    /// Fresh per-query nonce.
+    pub nonce: u64,
+}
+
+impl Encode for SampleQuery {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nonce.encode(buf);
+    }
+}
+
+impl Decode for SampleQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SampleQuery {
+            nonce: u64::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for SampleQuery {
+    const TAG: u8 = tag::SAMPLE_QUERY;
+    const STEP: u8 = step::NONE;
+}
+
+/// A √n-boost response: the responder's held value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleResponse {
+    /// The value the responder holds.
+    pub value: u8,
+}
+
+impl Encode for SampleResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.value.encode(buf);
+    }
+}
+
+impl Decode for SampleResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SampleResponse {
+            value: u8::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for SampleResponse {
+    const TAG: u8 = tag::SAMPLE_RESPONSE;
+    const STEP: u8 = step::NONE;
+}
+
 /// Outcome of the √n-sampling boost.
 #[derive(Clone, Debug)]
 pub struct SqrtBoostOutcome {
@@ -274,8 +334,9 @@ pub fn sqrt_sampling_boost(
     let sample_size = ((n as f64).sqrt() * sample_factor).ceil() as usize;
     let sample_size = sample_size.clamp(1, n - 1);
     let mut net = Network::new(n);
-    const QUERY_BYTES: usize = 9; // tag + nonce
-    const RESPONSE_BYTES: usize = 2; // tag + value
+    // Real typed wire sizes: header + nonce, header + value.
+    let query_bytes = wire::encoded_msg_len(&SampleQuery { nonce: 0 });
+    let response_bytes = wire::encoded_msg_len(&SampleResponse { value: 0 });
 
     let mut correct = 0usize;
     let mut honest_count = 0usize;
@@ -289,8 +350,10 @@ pub fn sqrt_sampling_boost(
         let mut responses = 0usize;
         for target in prg.sample_distinct(n as u64, sample_size) {
             let q = PartyId(target);
-            net.metrics_mut().record_send(p, q, QUERY_BYTES);
-            net.metrics_mut().record_receive(q, p, QUERY_BYTES);
+            net.metrics_mut()
+                .record_send_tagged(p, q, query_bytes, tag::SAMPLE_QUERY);
+            net.metrics_mut()
+                .record_receive_tagged(q, p, query_bytes, tag::SAMPLE_QUERY);
             let answer: Option<u8> = if corrupt.contains(&q) {
                 Some(value ^ 1) // corrupt responders lie
             } else if holders[q.index()] {
@@ -299,8 +362,10 @@ pub fn sqrt_sampling_boost(
                 None // honest straggler: no answer
             };
             if let Some(a) = answer {
-                net.metrics_mut().record_send(q, p, RESPONSE_BYTES);
-                net.metrics_mut().record_receive(p, q, RESPONSE_BYTES);
+                net.metrics_mut()
+                    .record_send_tagged(q, p, response_bytes, tag::SAMPLE_RESPONSE);
+                net.metrics_mut()
+                    .record_receive_tagged(p, q, response_bytes, tag::SAMPLE_RESPONSE);
                 responses += 1;
                 votes += if a == value { 1 } else { -1 };
             }

@@ -18,10 +18,39 @@
 //! execution per key generation.
 
 use crate::protocol::{BaConfig, RoundOutcome, Session};
-use pba_crypto::codec::{Decode, Encode};
-use pba_net::{PartyId, Report};
+use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
+use pba_net::wire::{self, step, tag};
+use pba_net::{PartyId, Report, WireMsg};
 use pba_srds::traits::Srds;
 use std::collections::BTreeMap;
+
+/// The sender's input transfer to a supreme-committee member: one
+/// broadcast execution's value, as a typed wire message so the transfer
+/// is charged at its real encoded size and attributed to its own tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastInput {
+    /// The value being broadcast.
+    pub value: u8,
+}
+
+impl Encode for BroadcastInput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.value.encode(buf);
+    }
+}
+
+impl Decode for BroadcastInput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BroadcastInput {
+            value: u8::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for BroadcastInput {
+    const TAG: u8 = tag::BCAST_INPUT;
+    const STEP: u8 = step::NONE;
+}
 
 /// Outcome of a multi-execution broadcast run.
 #[derive(Clone, Debug)]
@@ -73,13 +102,24 @@ where
     let mut executions = Vec::with_capacity(values.len());
     let mut all_delivered = true;
     for &value in values {
-        // The sender transfers its value to every supreme-committee member
-        // (2 bytes: tag + value), charged as real traffic.
+        // The sender transfers its value to every supreme-committee member,
+        // charged as real traffic at the typed message's encoded size.
+        let input_bytes = wire::encoded_msg_len(&BroadcastInput { value });
         let mut committee_inputs: BTreeMap<PartyId, u8> = BTreeMap::new();
         for &member in &supreme {
             if sender_honest {
-                session.net.metrics_mut().record_send(sender, member, 2);
-                session.net.metrics_mut().record_receive(member, sender, 2);
+                session.net.metrics_mut().record_send_tagged(
+                    sender,
+                    member,
+                    input_bytes,
+                    tag::BCAST_INPUT,
+                );
+                session.net.metrics_mut().record_receive_tagged(
+                    member,
+                    sender,
+                    input_bytes,
+                    tag::BCAST_INPUT,
+                );
                 committee_inputs.insert(member, value);
             } else {
                 // A corrupt sender equivocates: alternate bits per member.

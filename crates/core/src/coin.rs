@@ -31,7 +31,8 @@ use pba_crypto::commit::{Commitment, Opening};
 use pba_crypto::prg::Prg;
 use pba_crypto::sha256::{Digest, Sha256};
 use pba_net::runner::{run_phase, Adversary};
-use pba_net::{Ctx, Envelope, Machine, Network, PartyId};
+use pba_net::wire::{step, tag};
+use pba_net::{Ctx, Envelope, Machine, Network, PartyId, WireMsg};
 use std::collections::{BTreeMap, HashMap};
 
 /// Messages of the commit–echo–reveal phase.
@@ -77,6 +78,11 @@ impl Decode for CoinMsg {
             t => Err(CodecError::InvalidTag(t)),
         }
     }
+}
+
+impl WireMsg for CoinMsg {
+    const TAG: u8 = tag::COIN;
+    const STEP: u8 = step::COMMITTEE_BA;
 }
 
 /// The commit–echo–reveal machine for one committee member. Produces a
@@ -126,7 +132,7 @@ impl CoinToss {
     fn broadcast(&self, ctx: &mut Ctx<'_>, msg: &CoinMsg) {
         for &peer in &self.committee {
             if peer != self.me {
-                ctx.send(peer, msg);
+                ctx.send_msg(peer, msg);
             }
         }
     }
@@ -148,7 +154,7 @@ impl Machine for CoinToss {
                     if !self.committee.contains(&env.from) {
                         continue;
                     }
-                    if let Some(CoinMsg::Commit(d)) = ctx.read(env) {
+                    if let Some(CoinMsg::Commit(d)) = ctx.recv_msg(env) {
                         self.received_commits.entry(env.from).or_insert(d);
                     }
                 }
@@ -168,7 +174,7 @@ impl Machine for CoinToss {
                     if !self.committee.contains(&env.from) || !echoed.insert(env.from) {
                         continue;
                     }
-                    if let Some(CoinMsg::Echo(vector)) = ctx.read(env) {
+                    if let Some(CoinMsg::Echo(vector)) = ctx.recv_msg(env) {
                         for (p, d) in vector {
                             *self.echo_counts.entry((p, d)).or_default() += 1;
                         }
@@ -199,7 +205,7 @@ impl Machine for CoinToss {
                     if !self.committee.contains(&env.from) || opened.contains(&env.from) {
                         continue;
                     }
-                    if let Some(CoinMsg::Reveal(r, o)) = ctx.read(env) {
+                    if let Some(CoinMsg::Reveal(r, o)) = ctx.recv_msg(env) {
                         if let Some(&d) = fixed.get(&env.from) {
                             if Commitment(d).verify(&r, &Opening(o)) {
                                 seed = seed.xor(&Sha256::digest(&r));
@@ -344,8 +350,8 @@ mod tests {
                         continue;
                     }
                     match round {
-                        0 => sender.send(bad, peer, &CoinMsg::Commit(Digest::ZERO)),
-                        2 => sender.send(bad, peer, &CoinMsg::Reveal([9u8; 32], [7u8; 32])),
+                        0 => sender.send_msg(bad, peer, &CoinMsg::Commit(Digest::ZERO)),
+                        2 => sender.send_msg(bad, peer, &CoinMsg::Reveal([9u8; 32], [7u8; 32])),
                         _ => {}
                     }
                 }

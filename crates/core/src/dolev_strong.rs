@@ -17,7 +17,8 @@ use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
 use pba_crypto::mss::{MssKeyPair, MssParams, MssSignature, MssVerificationKey};
 use pba_crypto::prg::Prg;
 use pba_net::runner::{run_phase, Adversary, SilentAdversary};
-use pba_net::{Ctx, Envelope, Machine, Network, PartyId, Report};
+use pba_net::wire::{step, tag};
+use pba_net::{Ctx, Envelope, Machine, Network, PartyId, Report, WireMsg};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A signature-chain link: signer and signature bytes.
@@ -68,6 +69,11 @@ impl Decode for DsMessage {
             chain: Vec::<ChainLink>::decode(r)?,
         })
     }
+}
+
+impl WireMsg for DsMessage {
+    const TAG: u8 = tag::DOLEV_STRONG;
+    const STEP: u8 = step::NONE;
 }
 
 /// What a chain signature signs: the value plus the ordered signer prefix.
@@ -168,7 +174,7 @@ impl DolevStrong {
         for i in 0..self.n as u64 {
             let peer = PartyId(i);
             if peer != self.me {
-                ctx.send(peer, &msg);
+                ctx.send_msg(peer, &msg);
             }
         }
     }
@@ -212,7 +218,7 @@ impl Machine for DolevStrong {
             if self.extracted.len() >= 2 {
                 break;
             }
-            let Some(msg) = ctx.read::<DsMessage>(env) else {
+            let Some(msg) = ctx.recv_msg::<DsMessage>(env) else {
                 continue;
             };
             if msg.chain.len() != round as usize {
@@ -377,7 +383,7 @@ mod tests {
                     value,
                     chain: vec![ChainLink { signer: me, sig }],
                 };
-                sender.send(me, PartyId(i), &msg);
+                sender.send_msg(me, PartyId(i), &msg);
             }
         }
     }

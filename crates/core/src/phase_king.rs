@@ -22,7 +22,9 @@
 //! agreed; `t + 1` phases guarantee an honest king.
 
 use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
-use pba_net::{Ctx, Envelope, Machine, PartyId};
+use pba_crypto::Digest;
+use pba_net::wire::{step, tag};
+use pba_net::{Ctx, Envelope, Machine, PartyId, WireMsg};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -70,6 +72,16 @@ impl<V: Decode> Decode for PkMsg<V> {
             t => Err(CodecError::InvalidTag(t)),
         }
     }
+}
+
+impl WireMsg for PkMsg<u8> {
+    const TAG: u8 = tag::PK_MSG_U8;
+    const STEP: u8 = step::COMMITTEE_BA;
+}
+
+impl WireMsg for PkMsg<Digest> {
+    const TAG: u8 = tag::PK_MSG_DIGEST;
+    const STEP: u8 = step::COMMITTEE_BA;
 }
 
 /// Number of synchronous rounds a committee of size `c` needs.
@@ -130,10 +142,13 @@ impl<V: PkValue> PhaseKing<V> {
         self.decided.then_some(&self.value)
     }
 
-    fn broadcast(&self, ctx: &mut Ctx<'_>, msg: &PkMsg<V>) {
+    fn broadcast(&self, ctx: &mut Ctx<'_>, msg: &PkMsg<V>)
+    where
+        PkMsg<V>: WireMsg,
+    {
         for &peer in &self.committee {
             if peer != self.me {
-                ctx.send(peer, msg);
+                ctx.send_msg(peer, msg);
             }
         }
     }
@@ -149,6 +164,7 @@ impl<V: PkValue> PhaseKing<V> {
     ) -> HashMap<V, usize>
     where
         F: Fn(PkMsg<V>) -> Option<V>,
+        PkMsg<V>: WireMsg,
     {
         let mut counts: HashMap<V, usize> = HashMap::new();
         let mut seen: std::collections::HashSet<PartyId> = Default::default();
@@ -157,7 +173,7 @@ impl<V: PkValue> PhaseKing<V> {
             if !self.committee.contains(&env.from) || !seen.insert(env.from) {
                 continue;
             }
-            if let Some(msg) = ctx.read::<PkMsg<V>>(env) {
+            if let Some(msg) = ctx.recv_msg::<PkMsg<V>>(env) {
                 if let Some(v) = pick(msg) {
                     *counts.entry(v).or_default() += 1;
                 }
@@ -170,7 +186,10 @@ impl<V: PkValue> PhaseKing<V> {
     }
 }
 
-impl<V: PkValue> Machine for PhaseKing<V> {
+impl<V: PkValue> Machine for PhaseKing<V>
+where
+    PkMsg<V>: WireMsg,
+{
     fn on_round(&mut self, ctx: &mut Ctx<'_>, inbox: &[Envelope]) {
         if self.done {
             return;
@@ -187,7 +206,7 @@ impl<V: PkValue> Machine for PhaseKing<V> {
                     if env.from != prev_king {
                         continue;
                     }
-                    if let Some(PkMsg::King(v)) = ctx.read::<PkMsg<V>>(env) {
+                    if let Some(PkMsg::King(v)) = ctx.recv_msg::<PkMsg<V>>(env) {
                         if self.propose_count < n - self.t {
                             self.value = v;
                         }
@@ -353,7 +372,7 @@ mod tests {
                         1 => PkMsg::Propose(v),
                         _ => PkMsg::King(v),
                     };
-                    sender.send(bad, peer, &msg);
+                    sender.send_msg(bad, peer, &msg);
                 }
             }
         }
@@ -425,8 +444,8 @@ mod tests {
         let mut adv = SilentAdversary::default();
         let c = 13;
         let (_, report) = run_committee_concrete(c, &vec![1u8; c], &mut adv);
-        // Each round every member sends ≤ c messages of ≤ 2 bytes:
-        // total ≤ rounds * c^2 * msg.
+        // Each round every member sends ≤ c messages of 4 bytes (2-byte
+        // wire header + variant byte + value): total ≤ rounds * c^2 * msg.
         let bound = rounds_for(c) * (c * c) as u64 * 4;
         assert!(
             report.total_bytes <= bound,

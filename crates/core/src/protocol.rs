@@ -30,14 +30,15 @@ use pba_aetree::fae::{charge_establishment, constant_adversary, disseminate, hon
 use pba_aetree::params::TreeParams;
 use pba_aetree::robust::{ascend, dedup_committee, robust_input_fanin};
 use pba_aetree::tree::Tree;
-use pba_crypto::codec::{decode_from_slice, encode_to_vec, Decode, Encode};
+use pba_crypto::codec::{decode_from_slice, encode_to_vec, CodecError, Decode, Encode, Reader};
 use pba_crypto::prf::SubsetPrf;
 use pba_crypto::prg::Prg;
 use pba_crypto::sha256::Digest;
 use pba_net::corruption::CorruptionPlan;
 use pba_net::faults::StrategySpec;
 use pba_net::runner::{run_phase_threaded, AdvSender, Adversary};
-use pba_net::{Envelope, Machine, Network, PartyId, Report};
+use pba_net::wire::{self, step, tag};
+use pba_net::{Envelope, Machine, Network, PartyId, Report, TagBreakdown, WireMsg};
 use pba_srds::traits::Srds;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -303,6 +304,12 @@ pub struct BaOutcome {
     pub report: Report,
     /// Per-step communication breakdown.
     pub steps: Vec<StepReport>,
+    /// Per-(wire tag) honest byte attribution — the exact dimension behind
+    /// `report`'s totals (see [`BaOutcome::tags_conserved`]).
+    pub breakdown: TagBreakdown,
+    /// Whether every party's per-tag marginals summed exactly to its
+    /// untyped byte totals at the end of the run.
+    pub tags_conserved: bool,
     /// The corrupt set used.
     pub corrupt: BTreeSet<PartyId>,
     /// Size of the final certificate in bytes.
@@ -329,6 +336,84 @@ pub struct BytesRoundOutcome {
     pub outputs: Vec<Option<Vec<u8>>>,
     /// Size of the certificate, if one was produced.
     pub certificate_len: Option<usize>,
+}
+
+/// The step-3 dissemination payload: the agreed value and coin seed,
+/// bound to the session epoch (Fig. 3 step 3's `(y, s)` pair).
+///
+/// This is what every virtual identity signs in step 4, so the wire
+/// encoding (including the `{tag, step}` header) *is* the signed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueSeed {
+    /// Session epoch (certified-round counter) — binds signatures to one
+    /// execution and blocks cross-epoch replay.
+    pub epoch: u64,
+    /// The value the supreme committee agreed on.
+    pub value: Vec<u8>,
+    /// The coin seed `s` driving the PRF spread.
+    pub seed: Digest,
+}
+
+impl Encode for ValueSeed {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.value.encode(buf);
+        self.seed.encode(buf);
+    }
+}
+
+impl Decode for ValueSeed {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ValueSeed {
+            epoch: u64::decode(r)?,
+            value: Vec::<u8>::decode(r)?,
+            seed: Digest::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for ValueSeed {
+    const TAG: u8 = tag::VALUE_SEED;
+    const STEP: u8 = step::DISSEMINATE;
+}
+
+/// The step-6 dissemination payload: the certified `(y, s)` plus the
+/// aggregate root signature `σ_root` (Fig. 3 step 6's triple).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Session epoch the certificate was produced in.
+    pub epoch: u64,
+    /// The certified value.
+    pub value: Vec<u8>,
+    /// The coin seed `s`.
+    pub seed: Digest,
+    /// The scheme-encoded aggregate signature `σ_root`.
+    pub sig: Vec<u8>,
+}
+
+impl Encode for Certificate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.value.encode(buf);
+        self.seed.encode(buf);
+        self.sig.encode(buf);
+    }
+}
+
+impl Decode for Certificate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Certificate {
+            epoch: u64::decode(r)?,
+            value: Vec::<u8>::decode(r)?,
+            seed: Digest::decode(r)?,
+            sig: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for Certificate {
+    const TAG: u8 = tag::CERTIFICATE;
+    const STEP: u8 = step::CERTIFY;
 }
 
 /// Byzantine strategy for the committee sub-protocols: equivocate
@@ -363,7 +448,7 @@ impl Adversary for CommitteeByzantine {
                     1 => PkMsg::Propose(v),
                     _ => PkMsg::King(v),
                 };
-                sender.send(bad, peer, &msg);
+                sender.send_msg(bad, peer, &msg);
             }
         }
     }
@@ -589,6 +674,20 @@ where
         self.net.metrics().report_for(self.honest.iter().copied())
     }
 
+    /// Per-(wire tag) honest byte attribution — the per-step dimension
+    /// behind [`Session::report`]'s totals.
+    pub fn breakdown(&self) -> TagBreakdown {
+        self.net
+            .metrics()
+            .breakdown_for(self.honest.iter().copied())
+    }
+
+    /// Exact conservation of the per-tag attribution: for every party the
+    /// per-tag sent/received marginals sum to the untyped byte totals.
+    pub fn tags_conserve_totals(&self) -> bool {
+        self.net.metrics().tags_conserve_totals()
+    }
+
     fn snap(&mut self, label: &'static str) {
         let total: u64 = self
             .honest
@@ -748,8 +847,18 @@ where
         let params = self.params;
 
         // ---- Step 3: disseminate (epoch, value, s). ----
-        let ys_payload = encode_to_vec(&(epoch, value.clone(), s));
-        let garbage = encode_to_vec(&(epoch, vec![0xeeu8; value.len()], Digest::ZERO));
+        let ys_payload = wire::encode_msg(&ValueSeed {
+            epoch,
+            value: value.clone(),
+            seed: s,
+        });
+        // Wire-valid but wrong content: survives the hardened decode and
+        // dies at signature verification, like a real equivocation would.
+        let garbage = wire::encode_msg(&ValueSeed {
+            epoch,
+            value: vec![0xeeu8; value.len()],
+            seed: Digest::ZERO,
+        });
         let mut adv: Box<pba_aetree::fae::AdversaryFn<'static>> = match self.config.profile {
             AdversaryProfile::Passive => Box::new(honest_adversary()),
             AdversaryProfile::Byzantine => Box::new(constant_adversary(garbage)),
@@ -774,6 +883,9 @@ where
             let Some(my_payload) = ys_result.per_party[p.index()].clone() else {
                 continue; // isolated: nothing to sign
             };
+            if wire::decode_msg::<ValueSeed>(&my_payload).is_err() {
+                continue; // hardened decode: never sign malformed bytes
+            }
             for &slot in self.tree.party_slots(p) {
                 let (owner, j) = self.slot_sk[slot as usize];
                 debug_assert_eq!(owner, p.index());
@@ -790,13 +902,21 @@ where
                     self.tree.committee(0, leaf).iter().copied().collect();
                 recipients.remove(&p);
                 for &r in &recipients {
-                    self.net.metrics_mut().record_send(p, r, len);
-                    self.net.metrics_mut().record_receive(r, p, len);
+                    self.net
+                        .metrics_mut()
+                        .record_send_tagged(p, r, len, tag::SIG_SUBMIT);
+                    self.net
+                        .metrics_mut()
+                        .record_receive_tagged(r, p, len, tag::SIG_SUBMIT);
                 }
                 leaf_inputs[leaf].push(sig);
             }
         }
-        let evil_payload = encode_to_vec(&(epoch, vec![9u8; value.len().max(1)], Digest::ZERO));
+        let evil_payload = wire::encode_msg(&ValueSeed {
+            epoch,
+            value: vec![9u8; value.len().max(1)],
+            seed: Digest::ZERO,
+        });
         let mut evil_sigs: Vec<S::Signature> = Vec::new();
         if self.config.profile == AdversaryProfile::Byzantine {
             for &p in corrupt.iter() {
@@ -926,15 +1046,21 @@ where
             },
             |_, _, _| evil_copy.clone(),
             |sig| scheme.signature_len(sig),
+            tag::AGGR_SHARE,
         );
         let sigma_root = outcome.root_value;
         let certificate_len = sigma_root.as_ref().map(|s| self.scheme.signature_len(s));
         self.snap("5:tree-aggregation");
 
         // ---- Step 6: disseminate (value, s, σ_root). ----
-        let triple_payload = sigma_root
-            .as_ref()
-            .map(|sig| encode_to_vec(&(epoch, (value.clone(), s), encode_to_vec(sig))));
+        let triple_payload = sigma_root.as_ref().map(|sig| {
+            wire::encode_msg(&Certificate {
+                epoch,
+                value: value.clone(),
+                seed: s,
+                sig: encode_to_vec(sig),
+            })
+        });
         let triple_result = triple_payload.as_ref().map(|payload| {
             let mut adv: Box<pba_aetree::fae::AdversaryFn<'static>> = match self.config.profile {
                 AdversaryProfile::Passive => Box::new(honest_adversary()),
@@ -963,14 +1089,19 @@ where
         let pp = &self.pp;
         let keyboard = &self.keyboard;
         let verify_triple = |bytes: &[u8]| -> Option<Vec<u8>> {
-            let (ep, (v_m, s_m), sig_bytes): (u64, (Vec<u8>, Digest), Vec<u8>) =
-                decode_from_slice(bytes).ok()?;
-            if ep != epoch {
+            let cert = wire::decode_msg::<Certificate>(bytes).ok()?;
+            if cert.epoch != epoch {
                 return None; // cross-epoch replay
             }
-            let sig: S::Signature = decode_from_slice(&sig_bytes).ok()?;
-            let signed = encode_to_vec(&(ep, v_m.clone(), s_m));
-            scheme.verify(pp, keyboard, &signed, &sig).then_some(v_m)
+            let sig: S::Signature = decode_from_slice(&cert.sig).ok()?;
+            let signed = wire::encode_msg(&ValueSeed {
+                epoch: cert.epoch,
+                value: cert.value.clone(),
+                seed: cert.seed,
+            });
+            scheme
+                .verify(pp, keyboard, &signed, &sig)
+                .then_some(cert.value)
         };
 
         if let Some(result) = &triple_result {
@@ -985,15 +1116,18 @@ where
                 let Some(bytes) = &result.per_party[p.index()] else {
                     continue;
                 };
-                let Ok((_, (_, s_i), _)) =
-                    decode_from_slice::<(u64, (Vec<u8>, Digest), Vec<u8>)>(bytes)
-                else {
+                let Ok(cert) = wire::decode_msg::<Certificate>(bytes) else {
                     continue;
                 };
-                let prf = SubsetPrf::new(s_i, n as u64, subset_size);
+                let prf = SubsetPrf::new(cert.seed, n as u64, subset_size);
                 for j in prf.eval(p.0) {
                     let receiver = PartyId(j);
-                    self.net.metrics_mut().record_send(p, receiver, bytes.len());
+                    self.net.metrics_mut().record_send_tagged(
+                        p,
+                        receiver,
+                        bytes.len(),
+                        tag::SPREAD,
+                    );
                     if corrupt.contains(&receiver) {
                         continue;
                     }
@@ -1001,9 +1135,12 @@ where
                     // construction of the sender's target set; the receiver
                     // recomputes it from the message's own seed), then full
                     // SRDS verification.
-                    self.net
-                        .metrics_mut()
-                        .record_receive(receiver, p, bytes.len());
+                    self.net.metrics_mut().record_receive_tagged(
+                        receiver,
+                        p,
+                        bytes.len(),
+                        tag::SPREAD,
+                    );
                     if outputs[receiver.index()].is_none() {
                         if let Some(v_out) = verify_triple(bytes) {
                             outputs[receiver.index()] = Some(v_out);
@@ -1178,6 +1315,8 @@ where
         validity,
         report: session.report(),
         steps: session.steps().to_vec(),
+        breakdown: session.breakdown(),
+        tags_conserved: session.tags_conserve_totals(),
         corrupt: session.corrupt().clone(),
         certificate_len: round.certificate_len,
     })

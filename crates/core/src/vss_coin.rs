@@ -27,7 +27,8 @@ use pba_crypto::reed_solomon;
 use pba_crypto::sha256::{Digest, Sha256};
 use pba_crypto::shamir;
 use pba_net::runner::{run_phase_threaded, Adversary};
-use pba_net::{Ctx, Envelope, Machine, Network, PartyId};
+use pba_net::wire::{step, tag};
+use pba_net::{Ctx, Envelope, Machine, Network, PartyId, WireMsg};
 use std::collections::BTreeMap;
 
 /// Messages of the deal/echo phases.
@@ -62,6 +63,11 @@ impl Decode for VssCoinMsg {
             t => Err(CodecError::InvalidTag(t)),
         }
     }
+}
+
+impl WireMsg for VssCoinMsg {
+    const TAG: u8 = tag::VSS_COIN;
+    const STEP: u8 = step::COMMITTEE_BA;
 }
 
 /// The deal/echo/reconstruct machine for one committee member.
@@ -134,7 +140,7 @@ impl Machine for VssCoin {
                     .insert(self.my_pos, self.my_poly_shares[self.my_pos]);
                 for (pos, &peer) in self.committee.clone().iter().enumerate() {
                     if peer != self.me {
-                        ctx.send(peer, &VssCoinMsg::Deal(self.my_poly_shares[pos]));
+                        ctx.send_msg(peer, &VssCoinMsg::Deal(self.my_poly_shares[pos]));
                     }
                 }
             }
@@ -147,7 +153,7 @@ impl Machine for VssCoin {
                     if self.received.contains_key(&pos) {
                         continue;
                     }
-                    if let Some(VssCoinMsg::Deal(v)) = ctx.read(env) {
+                    if let Some(VssCoinMsg::Deal(v)) = ctx.recv_msg(env) {
                         self.received.insert(pos, v);
                     }
                 }
@@ -156,7 +162,7 @@ impl Machine for VssCoin {
                 self.echoes[self.my_pos] = self.received.clone();
                 for &peer in &self.committee.clone() {
                     if peer != self.me {
-                        ctx.send(peer, &VssCoinMsg::Echo(vector.clone()));
+                        ctx.send_msg(peer, &VssCoinMsg::Echo(vector.clone()));
                     }
                 }
             }
@@ -169,7 +175,7 @@ impl Machine for VssCoin {
                     if !self.echoes[pos].is_empty() {
                         continue;
                     }
-                    if let Some(VssCoinMsg::Echo(vector)) = ctx.read(env) {
+                    if let Some(VssCoinMsg::Echo(vector)) = ctx.recv_msg(env) {
                         for (d, v) in vector {
                             self.echoes[pos].insert(d as usize, v);
                         }
@@ -349,7 +355,7 @@ mod tests {
                     let vector: Vec<(u64, Fp)> = (0..self.committee.len() as u64)
                         .map(|d| (d, Fp::new(d * 7919 + j as u64 + 1)))
                         .collect();
-                    sender.send(bad, peer, &VssCoinMsg::Echo(vector));
+                    sender.send_msg(bad, peer, &VssCoinMsg::Echo(vector));
                 }
             }
         }

@@ -3,8 +3,8 @@
 //! Communication complexity is *the* measured quantity in this reproduction,
 //! so every message crosses the simulated network as explicit bytes produced
 //! by this codec — no in-memory hand-waving. The format is little-endian
-//! fixed-width integers, `u64` length prefixes for sequences, and a one-byte
-//! tag for options/enums.
+//! fixed-width integers, canonical LEB128 varint length prefixes for
+//! sequences, and a one-byte tag for options/enums.
 //!
 //! # Examples
 //!
@@ -57,6 +57,55 @@ impl std::error::Error for CodecError {}
 /// Sanity bound on decoded sequence lengths (items), to stop hostile inputs
 /// from triggering huge allocations.
 pub const MAX_SEQ_LEN: u64 = 1 << 24;
+
+/// Maximum byte length of a LEB128-encoded `u64` (⌈64 / 7⌉ groups).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the canonical LEB128 (base-128, little-endian groups) encoding
+/// of `v` to `buf`. Small values — sequence lengths, party indices — cost
+/// one byte instead of the eight a fixed-width `u64` costs.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let group = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(group);
+            return;
+        }
+        buf.push(group | 0x80);
+    }
+}
+
+/// Byte length of the canonical LEB128 encoding of `v`.
+pub fn varint_len(v: u64) -> usize {
+    ((64 - v.leading_zeros()).max(1) as usize).div_ceil(7)
+}
+
+/// Reads a canonical LEB128-encoded `u64`.
+///
+/// # Errors
+///
+/// [`CodecError::UnexpectedEnd`] on truncation; [`CodecError::Invalid`] on
+/// encodings that overflow 64 bits or are non-canonical (a redundant
+/// trailing zero group).
+pub fn read_varint(r: &mut Reader<'_>) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = r.take(1)?[0];
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::Invalid("varint overflow"));
+        }
+        if byte == 0 && shift != 0 {
+            return Err(CodecError::Invalid("non-canonical varint"));
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
 
 /// A cursor over encoded bytes.
 #[derive(Debug)]
@@ -229,7 +278,7 @@ impl Decode for [u8; 32] {
 
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
-        (self.len() as u64).encode(buf);
+        write_varint(buf, self.len() as u64);
         for item in self {
             item.encode(buf);
         }
@@ -238,7 +287,7 @@ impl<T: Encode> Encode for Vec<T> {
 
 impl<T: Decode> Decode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let len = u64::decode(r)?;
+        let len = read_varint(r)?;
         if len > MAX_SEQ_LEN {
             return Err(CodecError::LengthOverflow(len));
         }
@@ -301,14 +350,14 @@ impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
 
 impl Encode for String {
     fn encode(&self, buf: &mut Vec<u8>) {
-        (self.len() as u64).encode(buf);
+        write_varint(buf, self.len() as u64);
         buf.extend_from_slice(self.as_bytes());
     }
 }
 
 impl Decode for String {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let len = u64::decode(r)?;
+        let len = read_varint(r)?;
         if len > MAX_SEQ_LEN {
             return Err(CodecError::LengthOverflow(len));
         }
@@ -455,10 +504,55 @@ mod tests {
 
     #[test]
     fn hostile_length_rejected() {
-        let bytes = encode_to_vec(&(MAX_SEQ_LEN + 1));
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, MAX_SEQ_LEN + 1);
         assert_eq!(
             decode_from_slice::<Vec<u8>>(&bytes),
             Err(CodecError::LengthOverflow(MAX_SEQ_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn varint_roundtrips_at_group_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v={v}");
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut r = Reader::new(&buf);
+            assert_eq!(read_varint(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_overflow_and_redundancy() {
+        // Truncated: continuation bit set but input ends.
+        let mut r = Reader::new(&[0x80]);
+        assert_eq!(read_varint(&mut r), Err(CodecError::UnexpectedEnd));
+        // Overflow: an 11th group, or bits past the 64th.
+        let mut r = Reader::new(&[0xff; 11]);
+        assert!(read_varint(&mut r).is_err());
+        let mut r = Reader::new(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02]);
+        assert_eq!(
+            read_varint(&mut r),
+            Err(CodecError::Invalid("varint overflow"))
+        );
+        // Non-canonical: redundant trailing zero group for the value 0.
+        let mut r = Reader::new(&[0x80, 0x00]);
+        assert_eq!(
+            read_varint(&mut r),
+            Err(CodecError::Invalid("non-canonical varint"))
         );
     }
 
@@ -475,7 +569,8 @@ mod tests {
 
     #[test]
     fn invalid_utf8_rejected() {
-        let mut bytes = encode_to_vec(&2u64);
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, 2);
         bytes.extend_from_slice(&[0xff, 0xfe]);
         assert_eq!(
             decode_from_slice::<String>(&bytes),

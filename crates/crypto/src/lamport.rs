@@ -68,9 +68,9 @@ impl LamportParams {
     }
 
     /// Signature size in bytes on the wire (including the codec's two
-    /// 8-byte sequence-length prefixes).
+    /// varint sequence-length prefixes).
     pub fn signature_len(&self) -> usize {
-        16 + self.bits * 2 * DIGEST_LEN
+        2 * crate::codec::varint_len(self.bits as u64) + self.bits * 2 * DIGEST_LEN
     }
 
     /// Truncated message digest as a bit vector (LSB-first within bytes).
@@ -195,10 +195,12 @@ pub struct LamportSignature {
 }
 
 impl LamportSignature {
-    /// Wire size in bytes (including the codec's two 8-byte sequence-length
+    /// Wire size in bytes (including the codec's two varint sequence-length
     /// prefixes).
     pub fn encoded_len(&self) -> usize {
-        16 + (self.revealed.len() + self.complement_hashes.len()) * DIGEST_LEN
+        crate::codec::varint_len(self.revealed.len() as u64)
+            + crate::codec::varint_len(self.complement_hashes.len() as u64)
+            + (self.revealed.len() + self.complement_hashes.len()) * DIGEST_LEN
     }
 
     /// Accessors used by codecs.

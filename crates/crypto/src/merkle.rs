@@ -203,10 +203,10 @@ impl MerkleProof {
         &self.path
     }
 
-    /// Size of the proof in bytes on the wire (index + length-prefixed path
-    /// digests).
+    /// Size of the proof in bytes on the wire (index + varint-length-prefixed
+    /// path digests).
     pub fn encoded_len(&self) -> usize {
-        16 + self.path.len() * 32
+        8 + crate::codec::varint_len(self.path.len() as u64) + self.path.len() * 32
     }
 
     /// Verifies the proof for a raw leaf payload against `root`.
@@ -320,7 +320,7 @@ mod tests {
     fn proof_encoded_len() {
         let tree = MerkleTree::from_leaves(leaves(16).iter());
         let p = tree.prove(5);
-        assert_eq!(p.encoded_len(), 16 + 4 * 32);
+        assert_eq!(p.encoded_len(), 8 + 1 + 4 * 32);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Party identities and message envelopes.
 
-use pba_crypto::codec::{CodecError, Decode, Encode, Reader};
+use pba_crypto::codec::{
+    read_varint, varint_len, write_varint, CodecError, Decode, Encode, Reader,
+};
 use std::fmt;
 
 /// A party identity: an index in `[0, n)`.
@@ -43,16 +45,16 @@ impl From<usize> for PartyId {
 
 impl Encode for PartyId {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.encode(buf);
+        write_varint(buf, self.0);
     }
     fn encoded_len(&self) -> usize {
-        8
+        varint_len(self.0)
     }
 }
 
 impl Decode for PartyId {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(PartyId(u64::decode(r)?))
+        Ok(PartyId(read_varint(r)?))
     }
 }
 

@@ -8,9 +8,9 @@
 //!
 //! Two layers of API:
 //!
-//! * the concrete combinators ([`Equivocator`], [`Garbler`], [`Replayer`],
-//!   [`Flooder`], [`CrashAt`], [`Composed`], [`Schedule`]) for
-//!   hand-assembled attacks;
+//! * the concrete combinators ([`Equivocator`], [`FieldEquivocator`],
+//!   [`Garbler`], [`Replayer`], [`Flooder`], [`CrashAt`], [`Composed`],
+//!   [`Schedule`]) for hand-assembled attacks;
 //! * the declarative [`StrategySpec`] — a cloneable, printable description
 //!   that [`StrategySpec::build`]s the combinator tree. Harnesses sweep
 //!   over specs, and a violation report prints the spec + seed as the
@@ -28,6 +28,7 @@
 
 use crate::envelope::{Envelope, PartyId};
 use crate::runner::{AdvSender, Adversary, SilentAdversary};
+use crate::wire;
 use pba_crypto::prg::Prg;
 use rand::RngCore;
 use std::collections::{BTreeMap, BTreeSet};
@@ -109,12 +110,19 @@ pub enum GarbleMode {
     Truncate,
     /// Alternate between bit flips and truncations by round parity.
     Both,
+    /// Structure-aware: decode the payload against its registered wire
+    /// schema, mutate exactly one typed field, and re-encode
+    /// ([`wire::mutate_field`]). The mutant passes the hardened decoder as
+    /// the *same* message type with a wrong value, so only semantic checks
+    /// (signatures, echo quorums, epoch numbers) can reject it. Untyped or
+    /// unparseable payloads fall back to a bit flip.
+    Field,
 }
 
 /// Intercepts the honest messages rushed to corrupted parties, mutates
-/// them (bit-flip / truncate), and forwards the mutants to honest
-/// receivers — *almost*-well-formed bytes that exercise every decode
-/// surface far more sharply than uniform noise.
+/// them (bit-flip / truncate / typed-field), and forwards the mutants to
+/// honest receivers — *almost*-well-formed bytes that exercise every
+/// decode surface far more sharply than uniform noise.
 #[derive(Debug)]
 pub struct Garbler {
     corrupted: BTreeSet<PartyId>,
@@ -141,6 +149,11 @@ impl Garbler {
             GarbleMode::BitFlip => true,
             GarbleMode::Truncate => false,
             GarbleMode::Both => round.is_multiple_of(2),
+            GarbleMode::Field => match wire::mutate_field(&out, &mut self.prg) {
+                Some(mutant) => return mutant,
+                // Untyped / unparseable payload: no schema to aim at.
+                None => true,
+            },
         };
         if flip {
             let byte = self.prg.gen_range(out.len() as u64) as usize;
@@ -182,6 +195,70 @@ impl Adversary for Garbler {
             if !self.corrupted.contains(&other) && other != env.from {
                 sender.send_raw(bad, other, mutant);
             }
+        }
+    }
+}
+
+/// Typed equivocation: intercepts a rushed typed message and *forks* it —
+/// one pseudorandom honest party receives the original encoding, another
+/// receives a structure-aware mutant of it ([`wire::mutate_field`]): the
+/// same message type with exactly one field changed. Both sides of the
+/// fork pass the hardened decoder, so unlike the byte-level
+/// [`Equivocator`] the lie survives until a semantic check (signature,
+/// echo quorum, epoch) compares values across receivers. Untyped payloads
+/// are forked against pseudorandom bytes instead.
+#[derive(Debug)]
+pub struct FieldEquivocator {
+    corrupted: BTreeSet<PartyId>,
+    prg: Prg,
+}
+
+impl FieldEquivocator {
+    /// Creates a typed equivocator.
+    pub fn new(corrupted: BTreeSet<PartyId>, prg: Prg) -> Self {
+        FieldEquivocator { corrupted, prg }
+    }
+}
+
+impl Adversary for FieldEquivocator {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: u64,
+        rushed: &BTreeMap<PartyId, Vec<Envelope>>,
+        sender: &mut AdvSender<'_>,
+    ) {
+        let honest: Vec<PartyId> = (0..sender.n() as u64)
+            .map(PartyId)
+            .filter(|p| !self.corrupted.contains(p))
+            .collect();
+        if honest.len() < 2 {
+            return;
+        }
+        let intercepted: Vec<Envelope> = rushed.values().flatten().cloned().collect();
+        for env in intercepted {
+            // `rushed` keys are the corrupted receivers; the interceptor
+            // re-sends under its own (authenticated) identity.
+            let bad = env.to;
+            if !self.corrupted.contains(&bad) {
+                continue;
+            }
+            let fork = wire::mutate_field(&env.payload, &mut self.prg).unwrap_or_else(|| {
+                // No schema to fork against: equivocate with pseudorandom
+                // bytes, as the byte-level Equivocator would.
+                let len = 1 + self.prg.gen_range(16) as usize;
+                let mut p = vec![0u8; len];
+                self.prg.fill_bytes(&mut p);
+                p
+            });
+            // Two distinct honest receivers see the two sides of the fork.
+            let a = self.prg.gen_range(honest.len() as u64) as usize;
+            let b = (a + 1 + self.prg.gen_range(honest.len() as u64 - 1) as usize) % honest.len();
+            sender.send_raw(bad, honest[a], env.payload.clone());
+            sender.send_raw(bad, honest[b], fork);
         }
     }
 }
@@ -458,6 +535,8 @@ pub enum StrategySpec {
     Silent,
     /// [`Equivocator`] with pseudorandom payloads.
     Equivocate,
+    /// [`FieldEquivocator`] forking one typed field of rushed messages.
+    EquivocateTyped,
     /// [`Garbler`] with the given mutation mode.
     Garble(GarbleMode),
     /// [`Replayer`] with the given replay rate.
@@ -497,9 +576,11 @@ impl StrategySpec {
         vec![
             Silent,
             Equivocate,
+            EquivocateTyped,
             Garble(GarbleMode::BitFlip),
             Garble(GarbleMode::Truncate),
             Garble(GarbleMode::Both),
+            Garble(GarbleMode::Field),
             Replay { per_round: 3 },
             Flood {
                 victim: None,
@@ -534,6 +615,10 @@ impl StrategySpec {
             StrategySpec::Equivocate => {
                 Box::new(Equivocator::new(corrupted, prg.child("equivocate", 0)))
             }
+            StrategySpec::EquivocateTyped => Box::new(FieldEquivocator::new(
+                corrupted,
+                prg.child("equivocate-typed", 0),
+            )),
             StrategySpec::Garble(mode) => {
                 Box::new(Garbler::new(corrupted, *mode, prg.child("garble", 0)))
             }
@@ -599,9 +684,11 @@ impl StrategySpec {
         match self {
             StrategySpec::Silent => "silent".into(),
             StrategySpec::Equivocate => "equivocate".into(),
+            StrategySpec::EquivocateTyped => "equivocate-typed".into(),
             StrategySpec::Garble(GarbleMode::BitFlip) => "garble-bitflip".into(),
             StrategySpec::Garble(GarbleMode::Truncate) => "garble-truncate".into(),
             StrategySpec::Garble(GarbleMode::Both) => "garble-both".into(),
+            StrategySpec::Garble(GarbleMode::Field) => "garble-field".into(),
             StrategySpec::Replay { per_round } => format!("replay-{per_round}"),
             StrategySpec::Flood {
                 payload_len,
@@ -775,6 +862,122 @@ mod tests {
         }
     }
 
+    /// A wire-valid `SampleResponse` payload: `{tag, step}` header plus a
+    /// one-byte body — the smallest registered schema to mutate against.
+    fn typed_payload() -> Vec<u8> {
+        vec![
+            crate::wire::tag::SAMPLE_RESPONSE,
+            crate::wire::step::NONE,
+            0x07,
+        ]
+    }
+
+    #[test]
+    fn field_garbler_mutants_stay_wire_valid() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(2)].into();
+        let mut adv = Garbler::new(
+            corrupted.clone(),
+            GarbleMode::Field,
+            Prg::from_seed_bytes(b"gf"),
+        );
+        let original = typed_payload();
+        let mut net = Network::new(4);
+        let rushed: BTreeMap<PartyId, Vec<Envelope>> = [(
+            PartyId(2),
+            vec![Envelope::new(PartyId(0), PartyId(2), original.clone())],
+        )]
+        .into();
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &rushed, &mut sender);
+        }
+        let staged = net.take_staged();
+        assert!(!staged.is_empty());
+        for env in &staged {
+            assert_ne!(
+                env.payload, original,
+                "field garbler forwarded unmodified bytes"
+            );
+            assert_eq!(
+                &env.payload[..2],
+                &original[..2],
+                "field mutation must keep the wire header"
+            );
+            assert_eq!(
+                crate::wire::peek_tag(&env.payload),
+                crate::wire::tag::SAMPLE_RESPONSE,
+                "field mutant no longer classifies as its message type"
+            );
+        }
+    }
+
+    #[test]
+    fn field_garbler_falls_back_to_bitflip_on_untyped_bytes() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(2)].into();
+        let mut adv = Garbler::new(
+            corrupted.clone(),
+            GarbleMode::Field,
+            Prg::from_seed_bytes(b"gu"),
+        );
+        let original = vec![0xffu8, 0xff, 0xff]; // unknown tag: no schema
+        let mut net = Network::new(3);
+        let rushed: BTreeMap<PartyId, Vec<Envelope>> = [(
+            PartyId(2),
+            vec![Envelope::new(PartyId(0), PartyId(2), original.clone())],
+        )]
+        .into();
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &rushed, &mut sender);
+        }
+        let staged = net.take_staged();
+        assert!(!staged.is_empty());
+        for env in &staged {
+            assert_ne!(env.payload, original);
+            assert_eq!(env.payload.len(), original.len(), "fallback is a bit flip");
+        }
+    }
+
+    #[test]
+    fn field_equivocator_forks_typed_payloads() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(3)].into();
+        let mut adv = FieldEquivocator::new(corrupted.clone(), Prg::from_seed_bytes(b"fe"));
+        let original = typed_payload();
+        let mut net = Network::new(4);
+        let rushed: BTreeMap<PartyId, Vec<Envelope>> = [(
+            PartyId(3),
+            vec![Envelope::new(PartyId(0), PartyId(3), original.clone())],
+        )]
+        .into();
+        {
+            let mut sender = AdvSender::new(&mut net, &corrupted);
+            adv.on_round(0, &rushed, &mut sender);
+        }
+        let staged = net.take_staged();
+        assert_eq!(staged.len(), 2, "one fork = exactly two sends");
+        assert_ne!(
+            staged[0].to, staged[1].to,
+            "fork must target distinct parties"
+        );
+        let payloads: Vec<&Vec<u8>> = staged.iter().map(|e| &e.payload).collect();
+        assert!(
+            payloads.contains(&&original),
+            "one side of the fork keeps the original encoding"
+        );
+        let mutant = payloads
+            .iter()
+            .find(|p| ***p != original)
+            .expect("other side of the fork is mutated");
+        assert_eq!(
+            crate::wire::peek_tag(mutant),
+            crate::wire::tag::SAMPLE_RESPONSE,
+            "forked payload must still be wire-valid"
+        );
+        for env in &staged {
+            assert!(!corrupted.contains(&env.to));
+        }
+    }
+
     #[test]
     fn replayer_only_replays_previously_seen() {
         let corrupted: BTreeSet<PartyId> = [PartyId(2)].into();
@@ -877,6 +1080,11 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(StrategySpec::Equivocate.label(), "equivocate");
+        assert_eq!(StrategySpec::EquivocateTyped.label(), "equivocate-typed");
+        assert_eq!(
+            StrategySpec::Garble(GarbleMode::Field).label(),
+            "garble-field"
+        );
         assert_eq!(
             StrategySpec::CrashAt {
                 inner: Box::new(StrategySpec::Garble(GarbleMode::Both)),

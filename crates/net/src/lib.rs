@@ -19,7 +19,10 @@
 //!   against an [`runner::Adversary`];
 //! * [`corruption`] — corruption-set sampling plans;
 //! * [`faults`] — composable Byzantine fault-injection strategies
-//!   ([`faults::StrategySpec`]) for chaos testing.
+//!   ([`faults::StrategySpec`]) for chaos testing;
+//! * [`wire`] — the typed wire protocol: stable tag registry, `{tag, step}`
+//!   headers, the hardened [`wire::decode_msg`] entry point, and the
+//!   schema-driven [`wire::mutate_field`] used by structure-aware faults.
 //!
 //! # Examples
 //!
@@ -40,10 +43,12 @@ pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod runner;
+pub mod wire;
 
 pub use envelope::{Envelope, PartyId};
-pub use metrics::{MetricsTable, Report};
+pub use metrics::{MetricsTable, Report, TagBreakdown};
 pub use network::{Ctx, Network, RoundEffects};
 pub use runner::{
     run_phase, run_phase_threaded, AdvSender, Adversary, Machine, PhaseOutcome, SilentAdversary,
 };
+pub use wire::WireMsg;

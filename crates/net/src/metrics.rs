@@ -9,7 +9,8 @@
 //! max-per-party communication, totals, and maximum locality.
 
 use crate::envelope::PartyId;
-use std::collections::BTreeSet;
+use crate::wire;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Communication counters for a single party.
@@ -27,6 +28,12 @@ pub struct PartyMetrics {
     pub peers_out: BTreeSet<PartyId>,
     /// Distinct peers this party processed messages from.
     pub peers_in: BTreeSet<PartyId>,
+    /// Sent bytes by wire tag ([`crate::wire::tag`]). Marginals over this
+    /// map sum exactly to `bytes_sent` — every recording path is tagged
+    /// (untagged paths charge [`crate::wire::tag::RAW`]).
+    pub sent_by_tag: BTreeMap<u8, u64>,
+    /// Received-and-processed bytes by wire tag; sums to `bytes_received`.
+    pub recv_by_tag: BTreeMap<u8, u64>,
 }
 
 impl PartyMetrics {
@@ -72,20 +79,34 @@ impl MetricsTable {
         &self.parties[id.index()]
     }
 
-    /// Records a sent envelope.
+    /// Records a sent envelope, attributed to [`crate::wire::tag::RAW`].
     pub fn record_send(&mut self, from: PartyId, to: PartyId, bytes: usize) {
+        self.record_send_tagged(from, to, bytes, wire::tag::RAW);
+    }
+
+    /// Records a sent envelope, attributing its bytes to a wire tag.
+    pub fn record_send_tagged(&mut self, from: PartyId, to: PartyId, bytes: usize, tag: u8) {
         let m = &mut self.parties[from.index()];
         m.bytes_sent += bytes as u64;
         m.msgs_sent += 1;
         m.peers_out.insert(to);
+        *m.sent_by_tag.entry(tag).or_insert(0) += bytes as u64;
     }
 
-    /// Records a received-and-processed envelope.
+    /// Records a received-and-processed envelope, attributed to
+    /// [`crate::wire::tag::RAW`].
     pub fn record_receive(&mut self, to: PartyId, from: PartyId, bytes: usize) {
+        self.record_receive_tagged(to, from, bytes, wire::tag::RAW);
+    }
+
+    /// Records a received-and-processed envelope, attributing its bytes to
+    /// a wire tag.
+    pub fn record_receive_tagged(&mut self, to: PartyId, from: PartyId, bytes: usize, tag: u8) {
         let m = &mut self.parties[to.index()];
         m.bytes_received += bytes as u64;
         m.msgs_received += 1;
         m.peers_in.insert(from);
+        *m.recv_by_tag.entry(tag).or_insert(0) += bytes as u64;
     }
 
     /// Charges synthetic communication to a party — used when a
@@ -101,9 +122,16 @@ impl MetricsTable {
     /// locality and max-bytes columns silently under-report the redundancy
     /// factor.
     pub fn charge_synthetic(&mut self, party: PartyId, bytes: u64, msgs: u64) {
+        self.charge_synthetic_tagged(party, bytes, msgs, wire::tag::RAW);
+    }
+
+    /// [`MetricsTable::charge_synthetic`] with an explicit wire tag for the
+    /// per-tag byte attribution.
+    pub fn charge_synthetic_tagged(&mut self, party: PartyId, bytes: u64, msgs: u64, tag: u8) {
         let m = &mut self.parties[party.index()];
         m.bytes_sent += bytes;
         m.msgs_sent += msgs;
+        *m.sent_by_tag.entry(tag).or_insert(0) += bytes;
     }
 
     /// Charges synthetic communication over a concrete `from → to` link:
@@ -117,14 +145,29 @@ impl MetricsTable {
     /// is known (committee exchanges, redundant-path copies); use
     /// [`MetricsTable::charge_synthetic`] only when no addressee exists.
     pub fn charge_synthetic_link(&mut self, from: PartyId, to: PartyId, bytes: u64, msgs: u64) {
+        self.charge_synthetic_link_tagged(from, to, bytes, msgs, wire::tag::RAW);
+    }
+
+    /// [`MetricsTable::charge_synthetic_link`] with an explicit wire tag
+    /// for the per-tag byte attribution (both endpoints).
+    pub fn charge_synthetic_link_tagged(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        bytes: u64,
+        msgs: u64,
+        tag: u8,
+    ) {
         let sender = &mut self.parties[from.index()];
         sender.bytes_sent += bytes;
         sender.msgs_sent += msgs;
         sender.peers_out.insert(to);
+        *sender.sent_by_tag.entry(tag).or_insert(0) += bytes;
         let receiver = &mut self.parties[to.index()];
         receiver.bytes_received += bytes;
         receiver.msgs_received += msgs;
         receiver.peers_in.insert(from);
+        *receiver.recv_by_tag.entry(tag).or_insert(0) += bytes;
     }
 
     /// Advances the round counter.
@@ -164,6 +207,68 @@ impl MetricsTable {
     /// Aggregated report over all parties.
     pub fn report(&self) -> Report {
         self.report_for((0..self.parties.len()).map(PartyId::from))
+    }
+
+    /// Per-tag byte breakdown aggregated over a set of parties (typically
+    /// the honest ones) — the per-step attribution dimension behind
+    /// Table 1's totals.
+    pub fn breakdown_for<I: IntoIterator<Item = PartyId>>(&self, ids: I) -> TagBreakdown {
+        let mut out = TagBreakdown::default();
+        for id in ids {
+            let m = &self.parties[id.index()];
+            for (&t, &b) in &m.sent_by_tag {
+                *out.sent.entry(t).or_insert(0) += b;
+            }
+            for (&t, &b) in &m.recv_by_tag {
+                *out.received.entry(t).or_insert(0) += b;
+            }
+        }
+        out
+    }
+
+    /// Exact conservation of the per-tag attribution: for **every** party,
+    /// the per-tag sent/received marginals sum to the party's untyped
+    /// `bytes_sent`/`bytes_received` totals. Holds by construction — every
+    /// recording path goes through a `_tagged` variant — and is asserted
+    /// by tests after full protocol runs.
+    pub fn tags_conserve_totals(&self) -> bool {
+        self.parties.iter().all(|m| {
+            m.sent_by_tag.values().sum::<u64>() == m.bytes_sent
+                && m.recv_by_tag.values().sum::<u64>() == m.bytes_received
+        })
+    }
+}
+
+/// Per-tag byte totals over a party set (see
+/// [`MetricsTable::breakdown_for`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TagBreakdown {
+    /// Sent bytes per wire tag.
+    pub sent: BTreeMap<u8, u64>,
+    /// Received-and-processed bytes per wire tag.
+    pub received: BTreeMap<u8, u64>,
+}
+
+impl TagBreakdown {
+    /// Sent bytes aggregated per step label ([`crate::wire::step_label_for`]),
+    /// in registry order — the rows of the per-step breakdown column in
+    /// the `table1` harness.
+    pub fn sent_by_step_label(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = Vec::new();
+        for (&t, &b) in &self.sent {
+            let label = crate::wire::step_label_for(t);
+            if let Some(entry) = out.iter_mut().find(|(l, _)| *l == label) {
+                entry.1 += b;
+            } else {
+                out.push((label, b));
+            }
+        }
+        out
+    }
+
+    /// Total sent bytes across all tags.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
     }
 }
 
@@ -309,6 +414,31 @@ mod tests {
         let r = t.report();
         assert_eq!(r.max_locality, 2);
         assert_eq!(r.max_bytes_per_party, 128);
+    }
+
+    #[test]
+    fn tagged_marginals_conserve_untyped_totals() {
+        use crate::wire::tag;
+        let mut t = MetricsTable::new(3);
+        t.record_send_tagged(PartyId(0), PartyId(1), 10, tag::VALUE_SEED);
+        t.record_receive_tagged(PartyId(1), PartyId(0), 10, tag::VALUE_SEED);
+        t.record_send(PartyId(0), PartyId(2), 5); // untyped → RAW bucket
+        t.charge_synthetic_tagged(PartyId(2), 7, 1, tag::ESTABLISH);
+        t.charge_synthetic_link_tagged(PartyId(1), PartyId(2), 3, 1, tag::SPREAD);
+        assert!(t.tags_conserve_totals());
+
+        assert_eq!(t.party(PartyId(0)).sent_by_tag[&tag::VALUE_SEED], 10);
+        assert_eq!(t.party(PartyId(0)).sent_by_tag[&tag::RAW], 5);
+        assert_eq!(t.party(PartyId(0)).bytes_sent, 15);
+
+        let bd = t.breakdown_for((0..3u64).map(PartyId));
+        assert_eq!(bd.total_sent(), t.report().total_bytes);
+        assert_eq!(bd.sent[&tag::SPREAD], 3);
+        assert_eq!(bd.received[&tag::SPREAD], 3);
+        assert!(bd
+            .sent_by_step_label()
+            .iter()
+            .any(|(l, b)| *l == "3:disseminate" && *b == 10));
     }
 
     #[test]

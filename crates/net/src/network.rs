@@ -28,6 +28,7 @@
 
 use crate::envelope::{Envelope, PartyId};
 use crate::metrics::{MetricsTable, Report};
+use crate::wire::{self, WireMsg};
 use pba_crypto::codec::{decode_from_slice, Decode, Encode};
 use pba_crypto::{Digest, Sha256};
 
@@ -38,11 +39,13 @@ enum Effect {
     /// [`Network::stage`]).
     Send(Envelope),
     /// A receiver-side processing charge, exactly as in
-    /// [`Ctx::charge_receive`].
+    /// [`Ctx::charge_receive`]. The wire tag is captured at charge time so
+    /// replay attributes the bytes identically.
     Receive {
         to: PartyId,
         from: PartyId,
         bytes: usize,
+        tag: u8,
     },
 }
 
@@ -141,6 +144,9 @@ impl Network {
     }
 
     /// Stages an envelope for next-round delivery, charging the sender.
+    /// The sender's bytes are attributed to the wire tag sniffed from the
+    /// payload header ([`wire::peek_tag`]; [`wire::tag::RAW`] for untyped
+    /// payloads).
     ///
     /// # Panics
     ///
@@ -152,7 +158,9 @@ impl Network {
             env.from
         );
         assert!(env.to.index() < self.n, "receiver {} out of range", env.to);
-        self.metrics.record_send(env.from, env.to, env.len());
+        let tag = wire::peek_tag(&env.payload);
+        self.metrics
+            .record_send_tagged(env.from, env.to, env.len(), tag);
         self.staged.push(env);
     }
 
@@ -165,7 +173,12 @@ impl Network {
         for op in effects.ops {
             match op {
                 Effect::Send(env) => self.stage(env),
-                Effect::Receive { to, from, bytes } => self.metrics.record_receive(to, from, bytes),
+                Effect::Receive {
+                    to,
+                    from,
+                    bytes,
+                    tag,
+                } => self.metrics.record_receive_tagged(to, from, bytes, tag),
             }
         }
     }
@@ -269,10 +282,19 @@ impl Ctx<'_> {
         }
     }
 
-    /// Sends an encodable message to `to`, charged to this party.
+    /// Sends an encodable message to `to`, charged to this party. The
+    /// payload is *untagged*: its bytes land in the [`wire::tag::RAW`]
+    /// attribution bucket. Protocol machines should prefer
+    /// [`Ctx::send_msg`].
     pub fn send<T: Encode + ?Sized>(&mut self, to: PartyId, msg: &T) {
         let payload = pba_crypto::codec::encode_to_vec(msg);
         self.send_raw(to, payload);
+    }
+
+    /// Sends a typed wire message to `to` with its `{tag, step}` header,
+    /// charged to this party and attributed to the message's tag.
+    pub fn send_msg<T: WireMsg>(&mut self, to: PartyId, msg: &T) {
+        self.send_raw(to, wire::encode_msg(msg));
     }
 
     /// Sends raw payload bytes to `to`.
@@ -304,15 +326,33 @@ impl Ctx<'_> {
         decode_from_slice(&env.payload).ok()
     }
 
-    /// Charges this party for processing `env` without decoding.
+    /// Processes an incoming typed envelope through the hardened wire
+    /// decoder: charges this party for receiving it (attributed to the
+    /// sniffed tag) and decodes via [`wire::decode_msg`].
+    ///
+    /// Returns `None` when the payload is over-cap, mis-tagged, carries a
+    /// wrong step byte, or has a malformed body (the bytes were still paid
+    /// for — the party had to read the message to discover that).
+    pub fn recv_msg<T: WireMsg>(&mut self, env: &Envelope) -> Option<T> {
+        self.charge_receive(env);
+        wire::decode_msg(&env.payload).ok()
+    }
+
+    /// Charges this party for processing `env` without decoding. The
+    /// bytes are attributed to the wire tag sniffed from the payload.
     pub fn charge_receive(&mut self, env: &Envelope) {
         debug_assert_eq!(env.to, self.id, "processing someone else's mail");
+        let tag = wire::peek_tag(&env.payload);
         match &mut self.backend {
-            Backend::Direct(net) => net.metrics.record_receive(self.id, env.from, env.len()),
+            Backend::Direct(net) => {
+                net.metrics
+                    .record_receive_tagged(self.id, env.from, env.len(), tag)
+            }
             Backend::Buffered { effects, .. } => effects.ops.push(Effect::Receive {
                 to: self.id,
                 from: env.from,
                 bytes: env.len(),
+                tag,
             }),
         }
     }
@@ -321,6 +361,68 @@ impl Ctx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pba_crypto::codec::{CodecError, Reader};
+
+    /// A minimal typed message for wire-layer tests, matching the
+    /// registered `SampleQuery` schema (`[U64]`).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct TestQuery(u64);
+
+    impl Encode for TestQuery {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+        }
+    }
+
+    impl Decode for TestQuery {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(TestQuery(u64::decode(r)?))
+        }
+    }
+
+    impl WireMsg for TestQuery {
+        const TAG: u8 = wire::tag::SAMPLE_QUERY;
+        const STEP: u8 = wire::step::NONE;
+    }
+
+    #[test]
+    fn typed_send_and_recv_attribute_tagged_bytes() {
+        let mut net = Network::new(2);
+        {
+            let mut ctx = net.ctx(PartyId(0), 0);
+            ctx.send_msg(PartyId(1), &TestQuery(42));
+        }
+        let envs = net.take_staged();
+        {
+            let mut ctx = net.ctx(PartyId(1), 1);
+            assert_eq!(ctx.recv_msg::<TestQuery>(&envs[0]), Some(TestQuery(42)));
+        }
+        let len = (wire::HEADER_LEN + 8) as u64;
+        let sender = net.metrics().party(PartyId(0));
+        let receiver = net.metrics().party(PartyId(1));
+        assert_eq!(sender.sent_by_tag[&wire::tag::SAMPLE_QUERY], len);
+        assert_eq!(receiver.recv_by_tag[&wire::tag::SAMPLE_QUERY], len);
+        assert!(net.metrics().tags_conserve_totals());
+    }
+
+    #[test]
+    fn recv_msg_rejects_malformed_but_still_charges() {
+        let mut net = Network::new(2);
+        // Wrong step byte in the header: hardened decode refuses it.
+        let mut payload = wire::encode_msg(&TestQuery(7));
+        payload[1] ^= 0x55;
+        let env = Envelope::new(PartyId(0), PartyId(1), payload);
+        net.stage(env.clone());
+        net.take_staged();
+        {
+            let mut ctx = net.ctx(PartyId(1), 0);
+            assert_eq!(ctx.recv_msg::<TestQuery>(&env), None);
+        }
+        // Charged, but attributed to the raw bucket (header implausible).
+        let receiver = net.metrics().party(PartyId(1));
+        assert_eq!(receiver.bytes_received, env.len() as u64);
+        assert_eq!(receiver.recv_by_tag[&wire::tag::RAW], env.len() as u64);
+    }
 
     #[test]
     fn stage_and_take() {
@@ -390,10 +492,13 @@ mod tests {
         // One party performing the same interleaved ops directly and via a
         // buffer must leave the network in an identical state.
         let inbox = Envelope::new(PartyId(1), PartyId(0), vec![7; 5]);
+        let typed_inbox = Envelope::new(PartyId(1), PartyId(0), wire::encode_msg(&TestQuery(9)));
         let script = |ctx: &mut Ctx<'_>| {
             ctx.send(PartyId(1), &1u64);
             ctx.charge_receive(&inbox);
             ctx.send_raw(PartyId(1), vec![9; 3]);
+            ctx.send_msg(PartyId(1), &TestQuery(4));
+            let _ = ctx.recv_msg::<TestQuery>(&typed_inbox);
         };
 
         let mut direct = Network::new(2);
@@ -402,11 +507,21 @@ mod tests {
         let mut buffered = Network::new(2);
         let mut fx = RoundEffects::new();
         script(&mut Ctx::buffered(PartyId(0), 0, 2, &mut fx));
-        assert_eq!(fx.len(), 3);
+        assert_eq!(fx.len(), 5);
         buffered.apply_effects(fx);
 
         assert_eq!(direct.staged(), buffered.staged());
         assert_eq!(direct.report(), buffered.report());
+        for id in [PartyId(0), PartyId(1)] {
+            assert_eq!(
+                direct.metrics().party(id).sent_by_tag,
+                buffered.metrics().party(id).sent_by_tag
+            );
+            assert_eq!(
+                direct.metrics().party(id).recv_by_tag,
+                buffered.metrics().party(id).recv_by_tag
+            );
+        }
     }
 
     #[test]

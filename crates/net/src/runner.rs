@@ -122,6 +122,17 @@ impl<'a> AdvSender<'a> {
         self.send_raw(from, to, pba_crypto::codec::encode_to_vec(msg));
     }
 
+    /// Sends a typed wire message (with its `{tag, step}` header) from
+    /// corrupted party `from` to `to` — required for a corrupted party's
+    /// lies to pass the honest receivers' hardened header checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not corrupted.
+    pub fn send_msg<T: crate::wire::WireMsg>(&mut self, from: PartyId, to: PartyId, msg: &T) {
+        self.send_raw(from, to, crate::wire::encode_msg(msg));
+    }
+
     /// Number of parties on the network.
     pub fn n(&self) -> usize {
         self.net.len()

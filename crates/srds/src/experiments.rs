@@ -26,6 +26,7 @@ use pba_aetree::analysis::TreeAnalysis;
 use pba_aetree::params::TreeParams;
 use pba_aetree::tree::Tree;
 use pba_crypto::prg::Prg;
+use pba_net::wire::MAX_WIRE_BYTES;
 use pba_net::PartyId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -253,6 +254,14 @@ pub enum ExperimentError {
         /// Requested corruptions (or `|S ∪ I|` in the forgery game).
         t: usize,
     },
+    /// An adversary-chosen message exceeds the wire-layer size cap
+    /// ([`MAX_WIRE_BYTES`]) — in `π_ba` such a payload would be rejected
+    /// by the hardened decoder before any party signed it, so a game
+    /// built on one is ill-posed rather than an adversary win.
+    OversizedMessage {
+        /// The offending message length.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -261,6 +270,12 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::InvalidTree(why) => write!(f, "invalid (n, I) tree: {why}"),
             ExperimentError::TooManyCorruptions { n, t } => {
                 write!(f, "t = {t} not below n/3 for n = {n}")
+            }
+            ExperimentError::OversizedMessage { len } => {
+                write!(
+                    f,
+                    "message of {len} bytes exceeds the wire cap {MAX_WIRE_BYTES}"
+                )
             }
         }
     }
@@ -327,11 +342,19 @@ pub fn run_robustness<S: Srds, A: RobustnessAdversary<S>>(
         .map_err(ExperimentError::InvalidTree)?;
 
     // B.2: messages. N = honest parties on leaves without good paths.
+    // Adversary-chosen payloads obey the same wire-layer size cap the
+    // hardened decoder enforces on real traffic.
     let message = adversary.message();
+    if message.len() > MAX_WIRE_BYTES {
+        return Err(ExperimentError::OversizedMessage { len: message.len() });
+    }
     let isolated: BTreeSet<u64> = (0..n as u64)
         .filter(|i| !corrupt.contains(i) && !analysis.leaf_has_good_path(tree.slot_leaf(*i)))
         .collect();
     let divergent = adversary.isolated_messages(&isolated);
+    if let Some(big) = divergent.values().find(|m| m.len() > MAX_WIRE_BYTES) {
+        return Err(ExperimentError::OversizedMessage { len: big.len() });
+    }
 
     // B.3: honest signatures.
     let mut signatures: BTreeMap<u64, S::Signature> = BTreeMap::new();
@@ -509,8 +532,14 @@ pub fn run_forgery<S: Srds, A: ForgeryAdversary<S>>(
     }
     let keys = board.prepare(scheme);
 
-    // B.a: challenge choice.
+    // B.a: challenge choice. Adversary-chosen payloads obey the wire cap.
     let (message, seduced) = adversary.choose_challenge(n, &corrupt, &mut prg);
+    if message.len() > MAX_WIRE_BYTES {
+        return Err(ExperimentError::OversizedMessage { len: message.len() });
+    }
+    if let Some(big) = seduced.values().find(|m| m.len() > MAX_WIRE_BYTES) {
+        return Err(ExperimentError::OversizedMessage { len: big.len() });
+    }
     let mut union = corrupt.clone();
     union.extend(seduced.keys().copied());
     if 3 * union.len() >= n {
@@ -722,6 +751,19 @@ mod tests {
         )
         .unwrap();
         assert!(!out.forged, "SNARK SRDS forged: {out:?}");
+    }
+
+    #[test]
+    fn oversized_adversarial_message_is_ill_posed() {
+        struct Oversized;
+        impl RobustnessAdversary<OwfSrds> for Oversized {
+            fn message(&mut self) -> Vec<u8> {
+                vec![0u8; MAX_WIRE_BYTES + 1]
+            }
+        }
+        let scheme = OwfSrds::with_defaults();
+        let err = run_robustness(&scheme, 200, 0, &mut Oversized, b"big1");
+        assert!(matches!(err, Err(ExperimentError::OversizedMessage { .. })));
     }
 
     #[test]

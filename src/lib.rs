@@ -63,7 +63,7 @@ pub mod prelude {
     pub use pba_crypto::sha256::{Digest, Sha256};
     pub use pba_net::corruption::CorruptionPlan;
     pub use pba_net::faults::{GarbleMode, StrategySpec};
-    pub use pba_net::{Network, PartyId, Report};
+    pub use pba_net::{Network, PartyId, Report, TagBreakdown, WireMsg};
     pub use pba_srds::experiments::{
         run_forgery, run_robustness, AggregateForgeryAdversary, DefaultRobustnessAdversary,
     };

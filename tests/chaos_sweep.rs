@@ -33,12 +33,16 @@ const GOLDEN: &[(&str, &str)] = &[
     ("48 charged explicit-10 silent", "agreed(Some(1))"),
     ("48 charged random-4 equivocate", "agreed(Some(1))"),
     ("48 charged explicit-12 equivocate", "agreed(Some(1))"),
+    ("48 charged random-4 equivocate-typed", "agreed(Some(1))"),
+    ("48 charged explicit-11 equivocate-typed", "agreed(Some(1))"),
     ("48 charged random-4 garble-bitflip", "agreed(Some(1))"),
     ("48 charged explicit-12 garble-bitflip", "agreed(Some(1))"),
     ("48 charged random-4 garble-truncate", "agreed(Some(1))"),
     ("48 charged explicit-11 garble-truncate", "agreed(Some(1))"),
     ("48 charged random-4 garble-both", "agreed(Some(1))"),
     ("48 charged explicit-11 garble-both", "agreed(Some(1))"),
+    ("48 charged random-4 garble-field", "agreed(Some(1))"),
+    ("48 charged explicit-12 garble-field", "agreed(Some(1))"),
     ("48 charged random-4 replay-3", "agreed(Some(1))"),
     ("48 charged explicit-11 replay-3", "agreed(Some(1))"),
     ("48 charged random-4 flood-512x8", "agreed(Some(1))"),
@@ -255,6 +259,29 @@ fn formerly_stalled_takeovers_now_agree() {
             matches!(report.verdict, ChaosVerdict::Agreed { .. }),
             "{key} stalled before robust aggregation and must now agree, got {}",
             report.verdict.label()
+        );
+    }
+}
+
+#[test]
+fn structure_aware_modes_are_exercised_and_safe() {
+    // The typed wire layer's fault modes — schema-driven field garbling
+    // and typed equivocation — produce lies that *pass* the hardened
+    // decoder, so they probe the semantic checks (signatures, quorums)
+    // rather than the codec. Each must appear in the matrix and reach
+    // agreement under the light random placement.
+    let reports = sweep();
+    for label in ["garble-field", "equivocate-typed"] {
+        let cases: Vec<_> = reports
+            .iter()
+            .filter(|r| r.case.spec.label() == label)
+            .collect();
+        assert!(!cases.is_empty(), "{label} missing from the chaos matrix");
+        assert!(
+            cases
+                .iter()
+                .any(|r| matches!(r.verdict, ChaosVerdict::Agreed { .. })),
+            "{label} never reached agreement"
         );
     }
 }

@@ -79,6 +79,7 @@ proptest! {
             |_net, _level, _node, winners: &[Option<u64>]| strict_majority(winners),
             |_, _, _| evil,
             |_| 8,
+            pba_net::wire::tag::FANIN,
         );
         prop_assert_eq!(out.root_value, Some(honest_value),
             "strict-minority corruption altered the root");

@@ -10,6 +10,7 @@ use pba_crypto::prg::Prg;
 use pba_net::corruption::CorruptionPlan;
 use pba_net::faults::{GarbleMode, StrategySpec};
 use pba_net::runner::{run_phase, AdvSender, Adversary};
+use pba_net::wire;
 use pba_net::{Ctx, Envelope, Machine, Network, PartyId};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -192,13 +193,15 @@ proptest! {
         let _ = decode_from_slice::<PkMsg<u8>>(&bytes);
         let _ = decode_from_slice::<CoinMsg>(&bytes);
         let _ = decode_from_slice::<VssCoinMsg>(&bytes);
-        let _ = decode_from_slice::<(u64, Vec<u8>, pba_crypto::Digest)>(&bytes);
+        let _ = wire::decode_msg::<pba_core::protocol::ValueSeed>(&bytes);
+        let _ = wire::decode_msg::<pba_core::protocol::Certificate>(&bytes);
+        let _ = wire::decode_msg::<PkMsg<u8>>(&bytes);
     }
 
     #[test]
     fn ctx_read_survives_fault_strategies(
         seed in any::<[u8; 8]>(),
-        strategy in 0usize..4,
+        strategy in 0usize..6,
     ) {
         // Honest receivers running `Ctx::read` on traffic produced by the
         // fault-injection combinators (garbled replays of real messages,
@@ -208,10 +211,11 @@ proptest! {
         }
         impl Machine for Probe {
             fn on_round(&mut self, ctx: &mut Ctx<'_>, inbox: &[Envelope]) {
-                // Feed the adversary real traffic to mutate/replay.
+                // Feed the adversary real typed traffic to mutate/replay/fork.
                 let victim = PartyId(ctx.n() as u64 - 1);
-                ctx.send(victim, &PkMsg::Value(self.rounds as u8));
+                ctx.send_msg(victim, &PkMsg::Value(self.rounds as u8));
                 for env in inbox {
+                    let _ = ctx.recv_msg::<PkMsg<u8>>(env);
                     let _ = ctx.read::<PkMsg<u8>>(env);
                     let _ = ctx.read::<CoinMsg>(env);
                     let _ = ctx.read::<VssCoinMsg>(env);
@@ -229,6 +233,8 @@ proptest! {
             StrategySpec::Equivocate,
             StrategySpec::Replay { per_round: 2 },
             StrategySpec::Flood { victim: None, payload_len: 64, per_round: 4 },
+            StrategySpec::Garble(GarbleMode::Field),
+            StrategySpec::EquivocateTyped,
         ][strategy].clone();
         let mut adversary = spec.build(corrupted, n, &Prg::from_seed_bytes(&seed));
         let mut net = Network::new(n);
