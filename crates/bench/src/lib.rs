@@ -18,9 +18,15 @@
 //!   (`cargo run -p pba-bench --bin perf --release [-- --smoke]`) —
 //!   sequential vs. all-core wall time, determinism cross-check, and
 //!   hot-path cache hit rates, emitted as `BENCH_3.json` (see [`perf`]);
+//! * **the multi-lane hash-engine baseline**
+//!   (`cargo run -p pba-bench --bin hash_perf --release [-- --smoke]`) —
+//!   scalar vs. batched per-primitive microbenches and end-to-end
+//!   rounds/sec, bit-identity gated, emitted as `BENCH_5.json` (see
+//!   [`hash_perf`]);
 //! * criterion micro/macro benches under `benches/`.
 
 pub mod chaos;
+pub mod hash_perf;
 pub mod perf;
 
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};

@@ -34,7 +34,7 @@
 //! ```
 
 use crate::prg::Prg;
-use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+use crate::sha256::{batch_digest, Digest, Sha256, DIGEST_LEN};
 
 /// Parameters for the Lamport scheme: how many message-digest bits are signed.
 ///
@@ -138,14 +138,68 @@ pub struct LamportKeyPair {
 
 impl LamportKeyPair {
     /// Generates a fresh key pair from `prg`.
+    ///
+    /// Routes through [`LamportKeyPair::generate_many`], so all `2·bits`
+    /// preimage hashes of the key go through the multi-lane engine in one
+    /// batch. Byte-identical to [`LamportKeyPair::generate_scalar`].
     pub fn generate(params: &LamportParams, prg: &mut Prg) -> Self {
+        Self::generate_many(params, prg, 1)
+            .pop()
+            .expect("generate_many(1) yields one key")
+    }
+
+    /// Generates `count` key pairs from `prg`, batching *all* preimage
+    /// hashes across keys through the multi-lane engine.
+    ///
+    /// Equivalent to calling [`LamportKeyPair::generate_scalar`] `count`
+    /// times on the same `prg`: the preimage material is drawn in one
+    /// [`rand::RngCore::fill_bytes`] call (the PRG stream is position-based,
+    /// so one large fill emits the same bytes as many small fills in order),
+    /// and the per-preimage hashes are bit-identical to the scalar core.
+    /// This is the MSS keygen fast path — `capacity` keys hash
+    /// `2·bits·capacity` preimages in lane-width groups.
+    pub fn generate_many(params: &LamportParams, prg: &mut Prg, count: usize) -> Vec<Self> {
+        let preimages_per_key = 2 * params.bits;
+        let mut material = vec![0u8; count * preimages_per_key * DIGEST_LEN];
+        rand::RngCore::fill_bytes(prg, &mut material);
+        let refs: Vec<&[u8]> = material.chunks_exact(DIGEST_LEN).collect();
+        let hashes = batch_digest(&refs);
+        (0..count)
+            .map(|k| {
+                let base = k * preimages_per_key;
+                let mut preimages = Vec::with_capacity(params.bits);
+                let mut key_hasher = Sha256::new();
+                for b in 0..params.bits {
+                    let i0 = base + 2 * b;
+                    let x0: [u8; DIGEST_LEN] =
+                        refs[i0].try_into().expect("exact digest-length chunk");
+                    let x1: [u8; DIGEST_LEN] =
+                        refs[i0 + 1].try_into().expect("exact digest-length chunk");
+                    key_hasher.update(hashes[i0].as_bytes());
+                    key_hasher.update(hashes[i0 + 1].as_bytes());
+                    preimages.push((x0, x1));
+                }
+                LamportKeyPair {
+                    params: *params,
+                    preimages,
+                    vk: LamportVerificationKey(key_hasher.finalize()),
+                }
+            })
+            .collect()
+    }
+
+    /// The scalar reference keygen: one streaming hash per preimage, drawn
+    /// two fills per bit. Kept as the equivalence baseline for
+    /// [`LamportKeyPair::generate_many`]; tests assert both paths produce
+    /// identical keys from the same PRG state.
+    pub fn generate_scalar(params: &LamportParams, prg: &mut Prg) -> Self {
         let mut preimages = Vec::with_capacity(params.bits);
         let mut key_hasher = Sha256::new();
         for _ in 0..params.bits {
             let mut x0 = [0u8; DIGEST_LEN];
             let mut x1 = [0u8; DIGEST_LEN];
-            rand::RngCore::fill_bytes(prg, &mut x0);
-            rand::RngCore::fill_bytes(prg, &mut x1);
+            prg.fill_bytes_scalar(&mut x0);
+            prg.fill_bytes_scalar(&mut x1);
             key_hasher.update(Sha256::digest(&x0).as_bytes());
             key_hasher.update(Sha256::digest(&x1).as_bytes());
             preimages.push((x0, x1));
@@ -220,6 +274,7 @@ impl LamportSignature {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngCore;
 
     fn setup() -> (LamportParams, LamportKeyPair) {
         let params = LamportParams::new(64);
@@ -314,5 +369,50 @@ mod tests {
         let k1 = LamportKeyPair::generate(&params, &mut Prg::from_seed_bytes(b"s"));
         let k2 = LamportKeyPair::generate(&params, &mut Prg::from_seed_bytes(b"s"));
         assert_eq!(k1.verification_key(), k2.verification_key());
+    }
+
+    #[test]
+    fn batched_keygen_matches_scalar_reference() {
+        for bits in [1usize, 7, 64, 128] {
+            let params = LamportParams::new(bits);
+            let mut batched_prg = Prg::from_seed_bytes(b"equiv");
+            let mut scalar_prg = Prg::from_seed_bytes(b"equiv");
+            let batched = LamportKeyPair::generate(&params, &mut batched_prg);
+            let scalar = LamportKeyPair::generate_scalar(&params, &mut scalar_prg);
+            assert_eq!(
+                batched.verification_key(),
+                scalar.verification_key(),
+                "vk diverged at bits={bits}"
+            );
+            assert_eq!(batched.preimages, scalar.preimages, "preimages diverged");
+            // PRG state must also agree so downstream draws are unchanged.
+            assert_eq!(batched_prg.next_u64(), scalar_prg.next_u64());
+        }
+    }
+
+    #[test]
+    fn generate_many_matches_sequential_generate() {
+        let params = LamportParams::new(16);
+        let mut many_prg = Prg::from_seed_bytes(b"cross-key");
+        let mut seq_prg = Prg::from_seed_bytes(b"cross-key");
+        let many = LamportKeyPair::generate_many(&params, &mut many_prg, 5);
+        let seq: Vec<_> = (0..5)
+            .map(|_| LamportKeyPair::generate_scalar(&params, &mut seq_prg))
+            .collect();
+        assert_eq!(many.len(), 5);
+        for (m, s) in many.iter().zip(&seq) {
+            assert_eq!(m.verification_key(), s.verification_key());
+            assert_eq!(m.preimages, s.preimages);
+        }
+        assert_eq!(many_prg.next_u64(), seq_prg.next_u64());
+    }
+
+    #[test]
+    fn generate_many_zero_is_empty_and_state_neutral() {
+        let params = LamportParams::new(8);
+        let mut a = Prg::from_seed_bytes(b"zero");
+        let mut b = Prg::from_seed_bytes(b"zero");
+        assert!(LamportKeyPair::generate_many(&params, &mut a, 0).is_empty());
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

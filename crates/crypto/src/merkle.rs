@@ -19,7 +19,7 @@
 //! assert!(!proof.verify(&tree.root(), b"x"));
 //! ```
 
-use crate::sha256::{Digest, Sha256};
+use crate::sha256::{batch_digest_pairs, batch_digest_prefixed, Digest, Sha256};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -28,12 +28,29 @@ const LEAF_PREFIX: u8 = 0x00;
 const NODE_PREFIX: u8 = 0x01;
 
 /// Process-wide proof-cache counters, exposed so benchmarks and property
-/// tests can observe hit rates. Monotone non-decreasing for the lifetime
-/// of the process (unless explicitly reset).
+/// tests can observe hit rates.
+///
+/// # Memory-ordering contract
+///
+/// All accesses use [`Ordering::Relaxed`]: each counter is an independent
+/// monotone event count, never used to synchronise other memory, so no
+/// acquire/release pairing is needed. The guarantees callers may rely on:
+///
+/// * **Per-counter monotonicity.** Between two calls to
+///   [`proof_cache_stats`] on *any* thread (absent a reset), each counter
+///   is non-decreasing — relaxed RMWs still hit a single modification
+///   order per atomic.
+/// * **No cross-counter snapshot.** A `(hits, misses)` pair is two
+///   independent loads, not an atomic snapshot; concurrent `prove` calls
+///   may land between them. Derived quantities (hit rates, totals) are
+///   therefore only exact while the threaded round engine is quiescent.
 static PROOF_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static PROOF_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// `(hits, misses)` of the process-wide Merkle proof cache.
+///
+/// See the module's memory-ordering contract: monotone per counter, not an
+/// atomic pair snapshot.
 pub fn proof_cache_stats() -> (u64, u64) {
     (
         PROOF_CACHE_HITS.load(Ordering::Relaxed),
@@ -41,11 +58,22 @@ pub fn proof_cache_stats() -> (u64, u64) {
     )
 }
 
-/// Resets the process-wide proof-cache counters (perf-harness runs only —
-/// tests asserting monotonicity must not race with this).
-pub fn reset_proof_cache_stats() {
-    PROOF_CACHE_HITS.store(0, Ordering::Relaxed);
-    PROOF_CACHE_MISSES.store(0, Ordering::Relaxed);
+/// Resets the process-wide proof-cache counters and returns the values they
+/// held, `(hits, misses)`.
+///
+/// **Single-threaded entry points only.** A reset racing `prove` calls on
+/// worker threads would interleave with their increments and break the
+/// monotonicity contract that property tests rely on, so this must only be
+/// called from harness code while no threaded round engine is running
+/// (e.g. between `run_cell` invocations, under the perf harness's exercise
+/// lock). The swap is atomic per counter, so even a misplaced call cannot
+/// lose increments — it can only make a concurrent reader's window span
+/// the reset.
+pub fn reset_proof_cache_stats() -> (u64, u64) {
+    (
+        PROOF_CACHE_HITS.swap(0, Ordering::Relaxed),
+        PROOF_CACHE_MISSES.swap(0, Ordering::Relaxed),
+    )
 }
 
 /// Hashes a leaf payload with the leaf domain prefix.
@@ -63,6 +91,23 @@ pub fn hash_node(left: &Digest, right: &Digest) -> Digest {
     h.update(left.as_bytes());
     h.update(right.as_bytes());
     h.finalize()
+}
+
+/// Hashes many leaf payloads through the multi-lane engine.
+///
+/// Bit-identical to mapping [`hash_leaf`] over `data` (the engine's lanes
+/// run the same compression function in lockstep; ragged or sub-lane-width
+/// batches fall back to the scalar core).
+pub fn hash_leaf_batch(data: &[&[u8]]) -> Vec<Digest> {
+    batch_digest_prefixed(&[LEAF_PREFIX], data)
+}
+
+/// Hashes many `(left, right)` child pairs into parents through the
+/// multi-lane engine's fixed-shape two-block fast path.
+///
+/// Bit-identical to mapping [`hash_node`] over `pairs`.
+pub fn hash_node_batch(pairs: &[(Digest, Digest)]) -> Vec<Digest> {
+    batch_digest_pairs(NODE_PREFIX, pairs)
 }
 
 /// A complete Merkle tree over a list of byte-string leaves.
@@ -87,6 +132,10 @@ pub struct MerkleTree {
 impl MerkleTree {
     /// Builds a tree from an iterator of leaf payloads.
     ///
+    /// Leaf hashing goes through the multi-lane engine ([`hash_leaf_batch`]);
+    /// the resulting digests — and hence the root — are identical to hashing
+    /// each leaf with [`hash_leaf`].
+    ///
     /// # Panics
     ///
     /// Panics if the iterator is empty.
@@ -95,16 +144,45 @@ impl MerkleTree {
         I: IntoIterator<Item = T>,
         T: AsRef<[u8]>,
     {
-        let digests: Vec<Digest> = leaves.into_iter().map(|l| hash_leaf(l.as_ref())).collect();
-        Self::from_leaf_digests(digests)
+        let payloads: Vec<T> = leaves.into_iter().collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|l| l.as_ref()).collect();
+        Self::from_leaf_digests(hash_leaf_batch(&refs))
     }
 
     /// Builds a tree from pre-hashed leaf digests.
+    ///
+    /// Each level is hashed with one [`hash_node_batch`] call, so the
+    /// engine compresses up to [`crate::sha256::LANES`] parent nodes per
+    /// pass. The levels are bit-identical to
+    /// [`MerkleTree::from_leaf_digests_scalar`].
     ///
     /// # Panics
     ///
     /// Panics if `digests` is empty.
     pub fn from_leaf_digests(digests: Vec<Digest>) -> Self {
+        assert!(!digests.is_empty(), "merkle tree needs at least one leaf");
+        let mut levels = vec![digests];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let pairs: Vec<(Digest, Digest)> = prev
+                .chunks(2)
+                .map(|pair| (pair[0], *pair.get(1).unwrap_or(&pair[0])))
+                .collect();
+            levels.push(hash_node_batch(&pairs));
+        }
+        MerkleTree {
+            levels,
+            proofs: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The scalar reference build: one streaming [`hash_node`] per parent.
+    ///
+    /// Kept as the equivalence baseline for the batched
+    /// [`MerkleTree::from_leaf_digests`]; property tests assert the two
+    /// produce identical levels for all shapes, and the perf harness
+    /// benches them against each other.
+    pub fn from_leaf_digests_scalar(digests: Vec<Digest>) -> Self {
         assert!(!digests.is_empty(), "merkle tree needs at least one leaf");
         let mut levels = vec![digests];
         while levels.last().expect("nonempty").len() > 1 {
@@ -324,7 +402,56 @@ mod tests {
     }
 
     #[test]
+    fn batched_build_matches_scalar_reference() {
+        for n in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100] {
+            let digests: Vec<Digest> = (0..n)
+                .map(|i| hash_leaf(format!("leaf-{i}").as_bytes()))
+                .collect();
+            let batched = MerkleTree::from_leaf_digests(digests.clone());
+            let scalar = MerkleTree::from_leaf_digests_scalar(digests);
+            assert_eq!(batched.levels, scalar.levels, "levels diverged at n={n}");
+        }
+    }
+
+    #[test]
+    fn batched_leaf_hashing_matches_scalar() {
+        let ls = leaves(37);
+        let refs: Vec<&[u8]> = ls.iter().map(|l| l.as_slice()).collect();
+        let batched = hash_leaf_batch(&refs);
+        let scalar: Vec<Digest> = ls.iter().map(|l| hash_leaf(l)).collect();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_node_hashing_matches_scalar() {
+        let base: Vec<Digest> = (0..21).map(|i| hash_leaf(&[i as u8])).collect();
+        let pairs: Vec<(Digest, Digest)> = base.windows(2).map(|w| (w[0], w[1])).collect();
+        let batched = hash_node_batch(&pairs);
+        let scalar: Vec<Digest> = pairs.iter().map(|(a, b)| hash_node(a, b)).collect();
+        assert_eq!(batched, scalar);
+    }
+
+    // Tests that reset or assert monotonicity of the process-wide counters
+    // must not race each other (the single-threaded-entry-point contract of
+    // `reset_proof_cache_stats`); they serialise on this lock.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn reset_returns_previous_counts() {
+        let _guard = COUNTER_LOCK.lock().expect("counter lock poisoned");
+        let tree = MerkleTree::from_leaves(leaves(4).iter());
+        tree.prove(0);
+        let before = proof_cache_stats();
+        let returned = reset_proof_cache_stats();
+        // Other (non-counter) tests may still increment between the two
+        // calls, so the swapped-out values are at least what we observed.
+        assert!(returned.0 >= before.0 && returned.1 >= before.1);
+        assert!(returned.1 >= 1, "the fresh proof above was a miss");
+    }
+
+    #[test]
     fn repeated_proofs_hit_the_cache() {
+        let _guard = COUNTER_LOCK.lock().expect("counter lock poisoned");
         let tree = MerkleTree::from_leaves(leaves(16).iter());
         // Counters are process-wide and other tests may run concurrently,
         // so assert only monotone lower bounds attributable to this tree.

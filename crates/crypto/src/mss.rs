@@ -114,10 +114,16 @@ impl fmt::Debug for MssKeyPair {
 
 impl MssKeyPair {
     /// Generates a key pair: `2^height` Lamport keys and their Merkle tree.
+    ///
+    /// Keygen is the hash-heaviest operation in the workspace
+    /// (`2^height · 2·bits` preimage hashes plus the tree build), so both
+    /// stages go through the multi-lane engine:
+    /// [`LamportKeyPair::generate_many`] batches preimage hashing *across*
+    /// one-time keys, and [`MerkleTree::from_leaves`] batches each tree
+    /// level. The resulting keys, root, and PRG state are byte-identical
+    /// to the scalar per-key path.
     pub fn generate(params: &MssParams, prg: &mut Prg) -> Self {
-        let one_time: Vec<LamportKeyPair> = (0..params.capacity())
-            .map(|_| LamportKeyPair::generate(&params.lamport, prg))
-            .collect();
+        let one_time = LamportKeyPair::generate_many(&params.lamport, prg, params.capacity());
         let tree = MerkleTree::from_leaves(
             one_time
                 .iter()

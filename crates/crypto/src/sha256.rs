@@ -299,6 +299,294 @@ impl Sha256 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-lane batched engine
+// ---------------------------------------------------------------------------
+
+/// Number of independent messages the batched engine compresses per pass.
+///
+/// Eight `u32` lanes advanced in lockstep fill one 256-bit vector register
+/// per working variable, so the compiler can turn every round statement into
+/// a single SIMD instruction (two on 128-bit-only targets). The value is a
+/// tuning constant, not a correctness parameter: every batch API accepts any
+/// input count and falls back to the scalar reference core for ragged tails.
+pub const LANES: usize = 8;
+
+/// A message presented to the lane engine as up to three concatenated
+/// segments (`prefix ‖ a ‖ b`), viewed through its FIPS 180-4 padding.
+///
+/// Keeping segments separate lets callers batch domain-prefixed hashes
+/// (Merkle leaves/nodes, PRG counter blocks) without concatenating into
+/// per-message buffers first.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    segs: [&'a [u8]; 3],
+}
+
+impl<'a> View<'a> {
+    fn new(segs: [&'a [u8]; 3]) -> Self {
+        View { segs }
+    }
+
+    /// Total message length in bytes (before padding).
+    fn len(&self) -> usize {
+        self.segs.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of 64-byte blocks in the padded message.
+    fn nblocks(&self) -> usize {
+        (self.len() + 9).div_ceil(BLOCK_LEN)
+    }
+
+    /// Materializes the `b`-th padded block (data, then `0x80`, zeros, and —
+    /// in the final block — the big-endian bit length).
+    fn fill_block(&self, b: usize, out: &mut [u8; BLOCK_LEN]) {
+        out.fill(0);
+        let start = b * BLOCK_LEN;
+        let mut off = 0;
+        for seg in self.segs {
+            let lo = start.max(off);
+            let hi = (start + BLOCK_LEN).min(off + seg.len());
+            if lo < hi {
+                out[lo - start..hi - start].copy_from_slice(&seg[lo - off..hi - off]);
+            }
+            off += seg.len();
+        }
+        if (start..start + BLOCK_LEN).contains(&off) {
+            out[off - start] = 0x80;
+        }
+        if b + 1 == self.nblocks() {
+            let bits = (off as u64).wrapping_mul(8);
+            out[BLOCK_LEN - 8..].copy_from_slice(&bits.to_be_bytes());
+        }
+    }
+
+    /// Scalar reference digest of the viewed message (streaming core).
+    fn scalar_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        for seg in self.segs {
+            h.update(seg);
+        }
+        h.finalize()
+    }
+}
+
+/// Compresses one block into each of the `LANES` states, in lockstep.
+///
+/// The structure-of-arrays layout (`state[var][lane]`, `w[round][lane]`)
+/// keeps every statement an elementwise loop over the lane dimension, which
+/// is exactly the shape LLVM's loop vectorizer turns into packed `u32`
+/// arithmetic. No `unsafe`, no explicit intrinsics: the scalar semantics of
+/// each lane are literally those of the streaming core's compress loop, so
+/// batched output is bit-identical to the scalar path by construction.
+fn compress_lanes(state: &mut [[u32; LANES]; 8], blocks: &[[u8; BLOCK_LEN]; LANES]) {
+    let mut w = [[0u32; LANES]; 64];
+    for t in 0..16 {
+        for l in 0..LANES {
+            w[t][l] = u32::from_be_bytes([
+                blocks[l][t * 4],
+                blocks[l][t * 4 + 1],
+                blocks[l][t * 4 + 2],
+                blocks[l][t * 4 + 3],
+            ]);
+        }
+    }
+    for i in 16..64 {
+        let (w15, w2, w16, w7) = (w[i - 15], w[i - 2], w[i - 16], w[i - 7]);
+        let wi = &mut w[i];
+        for l in 0..LANES {
+            let s0 = w15[l].rotate_right(7) ^ w15[l].rotate_right(18) ^ (w15[l] >> 3);
+            let s1 = w2[l].rotate_right(17) ^ w2[l].rotate_right(19) ^ (w2[l] >> 10);
+            wi[l] = w16[l].wrapping_add(s0).wrapping_add(w7[l]).wrapping_add(s1);
+        }
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let mut t1 = [0u32; LANES];
+        let mut t2 = [0u32; LANES];
+        for l in 0..LANES {
+            let s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ (!e[l] & g[l]);
+            t1[l] = h[l]
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i][l]);
+            let s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            t2[l] = s0.wrapping_add(maj);
+        }
+        h = g;
+        g = f;
+        f = e;
+        for l in 0..LANES {
+            e[l] = d[l].wrapping_add(t1[l]);
+        }
+        d = c;
+        c = b;
+        b = a;
+        for l in 0..LANES {
+            a[l] = t1[l].wrapping_add(t2[l]);
+        }
+    }
+    let upd = [a, b, c, d, e, f, g, h];
+    for k in 0..8 {
+        for l in 0..LANES {
+            state[k][l] = state[k][l].wrapping_add(upd[k][l]);
+        }
+    }
+}
+
+/// Runs `LANES` equal-block-count views through the lane core, scattering
+/// the digests to `out[indices[l]]`.
+fn digest_lane_group(views: &[View<'_>; LANES], indices: &[usize; LANES], out: &mut [Digest]) {
+    let nblocks = views[0].nblocks();
+    debug_assert!(views.iter().all(|v| v.nblocks() == nblocks));
+    let mut state = [[0u32; LANES]; 8];
+    for k in 0..8 {
+        state[k] = [H0[k]; LANES];
+    }
+    let mut blocks = [[0u8; BLOCK_LEN]; LANES];
+    for b in 0..nblocks {
+        for l in 0..LANES {
+            views[l].fill_block(b, &mut blocks[l]);
+        }
+        compress_lanes(&mut state, &blocks);
+    }
+    for l in 0..LANES {
+        let mut bytes = [0u8; DIGEST_LEN];
+        for k in 0..8 {
+            bytes[k * 4..k * 4 + 4].copy_from_slice(&state[k][l].to_be_bytes());
+        }
+        out[indices[l]] = Digest(bytes);
+    }
+}
+
+/// Digests a batch of views, preserving input order in the output.
+///
+/// Views are grouped by padded block count (lockstep lanes must compress
+/// the same number of blocks); full groups of [`LANES`] run through the
+/// vector core, every leftover runs through the scalar reference core —
+/// so ragged batches are handled without dummy-lane waste and the result
+/// is bit-identical to per-input [`Sha256::digest`] in all cases.
+fn batch_views(views: &[View<'_>]) -> Vec<Digest> {
+    let mut out = vec![Digest::ZERO; views.len()];
+    if views.len() < LANES {
+        for (o, v) in out.iter_mut().zip(views) {
+            *o = v.scalar_digest();
+        }
+        return out;
+    }
+    let mut order: Vec<usize> = (0..views.len()).collect();
+    order.sort_by_key(|&i| views[i].nblocks());
+    let mut run_start = 0;
+    while run_start < order.len() {
+        let nb = views[order[run_start]].nblocks();
+        let mut run_end = run_start + 1;
+        while run_end < order.len() && views[order[run_end]].nblocks() == nb {
+            run_end += 1;
+        }
+        let run = &order[run_start..run_end];
+        let mut chunks = run.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            let indices: [usize; LANES] = chunk.try_into().expect("exact chunk");
+            let group: [View<'_>; LANES] = std::array::from_fn(|l| views[indices[l]]);
+            digest_lane_group(&group, &indices, &mut out);
+        }
+        for &i in chunks.remainder() {
+            out[i] = views[i].scalar_digest();
+        }
+        run_start = run_end;
+    }
+    out
+}
+
+/// Hashes many independent inputs through the multi-lane engine.
+///
+/// Output `i` is bit-identical to `Sha256::digest(inputs[i])` for every
+/// batch shape — empty inputs, padding-boundary lengths, and batches
+/// smaller than [`LANES`] included (those take the scalar reference path).
+///
+/// # Examples
+///
+/// ```
+/// use pba_crypto::sha256::{batch_digest, Sha256};
+///
+/// let inputs: Vec<&[u8]> = vec![b"a", b"bc", b""];
+/// let digests = batch_digest(&inputs);
+/// assert_eq!(digests[1], Sha256::digest(b"bc"));
+/// ```
+pub fn batch_digest(inputs: &[&[u8]]) -> Vec<Digest> {
+    let views: Vec<View<'_>> = inputs.iter().map(|i| View::new([i, &[], &[]])).collect();
+    batch_views(&views)
+}
+
+/// Hashes `prefix ‖ input` for each input, batched. Used for domain-prefixed
+/// hashing (Merkle leaves, PRG counter blocks) without concatenating into
+/// per-message buffers.
+///
+/// Output `i` equals `Sha256::digest(prefix ‖ inputs[i])`.
+pub fn batch_digest_prefixed(prefix: &[u8], inputs: &[&[u8]]) -> Vec<Digest> {
+    let views: Vec<View<'_>> = inputs.iter().map(|i| View::new([prefix, i, &[]])).collect();
+    batch_views(&views)
+}
+
+/// The fixed-input fast path: digests of `prefix ‖ a ‖ b` for digest pairs —
+/// the 65-byte Merkle-node shape. Every message is exactly two padded blocks
+/// with a precomputed padding schedule (the second block carries one data
+/// byte, the `0x80` marker, and the constant 520-bit length), so no
+/// streaming buffer or per-message length bookkeeping is involved.
+///
+/// Output `i` equals `Sha256::digest([prefix] ‖ pairs[i].0 ‖ pairs[i].1)`.
+pub fn batch_digest_pairs(prefix: u8, pairs: &[(Digest, Digest)]) -> Vec<Digest> {
+    let mut out = vec![Digest::ZERO; pairs.len()];
+    let scalar_pair = |(a, b): &(Digest, Digest)| {
+        let mut h = Sha256::new();
+        h.update(&[prefix]);
+        h.update(a.as_bytes());
+        h.update(b.as_bytes());
+        h.finalize()
+    };
+    let mut chunks = pairs.chunks_exact(LANES);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let mut state = [[0u32; LANES]; 8];
+        for k in 0..8 {
+            state[k] = [H0[k]; LANES];
+        }
+        // Block 0: prefix byte, the full left digest, 31 bytes of the right.
+        let mut blocks = [[0u8; BLOCK_LEN]; LANES];
+        for (l, (a, b)) in chunk.iter().enumerate() {
+            blocks[l][0] = prefix;
+            blocks[l][1..33].copy_from_slice(a.as_bytes());
+            blocks[l][33..64].copy_from_slice(&b.as_bytes()[..31]);
+        }
+        compress_lanes(&mut state, &blocks);
+        // Block 1: last right byte, 0x80, zeros, 520-bit length. Constant
+        // except for the first byte.
+        let mut pad = [0u8; BLOCK_LEN];
+        pad[1] = 0x80;
+        pad[BLOCK_LEN - 8..].copy_from_slice(&(65u64 * 8).to_be_bytes());
+        let mut blocks = [pad; LANES];
+        for (l, (_, b)) in chunk.iter().enumerate() {
+            blocks[l][0] = b.as_bytes()[31];
+        }
+        compress_lanes(&mut state, &blocks);
+        for l in 0..LANES {
+            let mut bytes = [0u8; DIGEST_LEN];
+            for k in 0..8 {
+                bytes[k * 4..k * 4 + 4].copy_from_slice(&state[k][l].to_be_bytes());
+            }
+            out[base + l] = Digest(bytes);
+        }
+        base += LANES;
+    }
+    for (o, pair) in out[base..].iter_mut().zip(chunks.remainder()) {
+        *o = scalar_pair(pair);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +683,87 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..1000u32 {
             assert!(seen.insert(Sha256::digest(&i.to_le_bytes())));
+        }
+    }
+
+    #[test]
+    fn batch_digest_matches_scalar_on_uniform_batches() {
+        for len in [0usize, 1, 31, 32, 55, 56, 63, 64, 65, 127, 128, 300] {
+            let msgs: Vec<Vec<u8>> = (0..2 * LANES + 3)
+                .map(|i| (0..len).map(|j| (i * 31 + j) as u8).collect())
+                .collect();
+            let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+            let batched = batch_digest(&refs);
+            for (i, m) in msgs.iter().enumerate() {
+                assert_eq!(batched[i], Sha256::digest(m), "len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_digest_matches_scalar_on_ragged_batches() {
+        // Lengths straddling every padding boundary, shuffled together so
+        // the engine has to group by block count and scalar-fallback tails.
+        let lens = [
+            0usize, 55, 56, 63, 64, 65, 119, 120, 128, 7, 200, 55, 64, 1, 2, 3, 65,
+        ];
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len).map(|j| (i * 17 + j * 3) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let batched = batch_digest(&refs);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(batched[i], Sha256::digest(m), "i={i}");
+        }
+    }
+
+    #[test]
+    fn batch_smaller_than_lane_width_uses_scalar_reference() {
+        for count in 0..LANES {
+            let msgs: Vec<Vec<u8>> = (0..count).map(|i| vec![i as u8; i * 13]).collect();
+            let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+            let batched = batch_digest(&refs);
+            assert_eq!(batched.len(), count);
+            for (i, m) in msgs.iter().enumerate() {
+                assert_eq!(batched[i], Sha256::digest(m));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_digest_prefixed_matches_concatenation() {
+        let prefix = [0x42u8, 0x99];
+        let msgs: Vec<Vec<u8>> = (0..LANES + 2).map(|i| vec![i as u8; 5 + i * 9]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let batched = batch_digest_prefixed(&prefix, &refs);
+        for (i, m) in msgs.iter().enumerate() {
+            let mut concat = prefix.to_vec();
+            concat.extend_from_slice(m);
+            assert_eq!(batched[i], Sha256::digest(&concat), "i={i}");
+        }
+    }
+
+    #[test]
+    fn batch_digest_pairs_matches_streaming() {
+        let pairs: Vec<(Digest, Digest)> = (0..2 * LANES + 5)
+            .map(|i| {
+                (
+                    Sha256::digest(&(i as u64).to_le_bytes()),
+                    Sha256::digest(&(i as u64 + 1000).to_le_bytes()),
+                )
+            })
+            .collect();
+        for prefix in [0x00u8, 0x01, 0xff] {
+            let batched = batch_digest_pairs(prefix, &pairs);
+            for (i, (a, b)) in pairs.iter().enumerate() {
+                let mut h = Sha256::new();
+                h.update(&[prefix]);
+                h.update(a.as_bytes());
+                h.update(b.as_bytes());
+                assert_eq!(batched[i], h.finalize(), "prefix={prefix} i={i}");
+            }
         }
     }
 }

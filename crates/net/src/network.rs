@@ -55,10 +55,24 @@ enum Effect {
 /// The log preserves the exact interleaving of sends and receive charges
 /// the machine performed, so replaying it is indistinguishable from having
 /// run the machine against the network directly.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct RoundEffects {
     ops: Vec<Effect>,
+    /// Per-worker encode scratch reused across this log's sends; carries no
+    /// observable state (see the manual [`PartialEq`]).
+    scratch: Vec<u8>,
 }
+
+/// Equality is over the buffered operations only: the encode scratch is a
+/// capacity-reuse optimization whose leftover bytes are not part of the
+/// effect log's meaning.
+impl PartialEq for RoundEffects {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
+}
+
+impl Eq for RoundEffects {}
 
 impl RoundEffects {
     /// An empty effect log.
@@ -88,6 +102,10 @@ pub struct Network {
     /// entry `i` commits to rounds `0..=i`, so the first index at which two
     /// transcripts differ names the first diverging round.
     transcript: Option<Vec<Digest>>,
+    /// Encode scratch reused by every direct-backend [`Ctx`] send; keeps
+    /// its high-water capacity so message encoding never reallocates on
+    /// the hot path.
+    encode_scratch: Vec<u8>,
 }
 
 impl Network {
@@ -98,6 +116,7 @@ impl Network {
             metrics: MetricsTable::new(n),
             staged: Vec::new(),
             transcript: None,
+            encode_scratch: Vec::new(),
         }
     }
 
@@ -282,19 +301,55 @@ impl Ctx<'_> {
         }
     }
 
+    /// The backend's reusable encode buffer (cleared by the wire encoders;
+    /// retains capacity across sends).
+    fn scratch(&mut self) -> &mut Vec<u8> {
+        match &mut self.backend {
+            Backend::Direct(net) => &mut net.encode_scratch,
+            Backend::Buffered { effects, .. } => &mut effects.scratch,
+        }
+    }
+
     /// Sends an encodable message to `to`, charged to this party. The
     /// payload is *untagged*: its bytes land in the [`wire::tag::RAW`]
     /// attribution bucket. Protocol machines should prefer
     /// [`Ctx::send_msg`].
+    ///
+    /// Encoding reuses the backend's scratch buffer; the staged envelope
+    /// carries an exact-size copy, byte-for-byte identical to encoding
+    /// into a fresh `Vec` (asserted in `tests/wire.rs`).
     pub fn send<T: Encode + ?Sized>(&mut self, to: PartyId, msg: &T) {
-        let payload = pba_crypto::codec::encode_to_vec(msg);
+        let scratch = self.scratch();
+        scratch.clear();
+        msg.encode(scratch);
+        let payload = scratch.as_slice().to_vec();
         self.send_raw(to, payload);
     }
 
     /// Sends a typed wire message to `to` with its `{tag, step}` header,
     /// charged to this party and attributed to the message's tag.
+    ///
+    /// Encoding reuses the backend's scratch buffer (see [`Ctx::send`]).
     pub fn send_msg<T: WireMsg>(&mut self, to: PartyId, msg: &T) {
-        self.send_raw(to, wire::encode_msg(msg));
+        let scratch = self.scratch();
+        wire::encode_msg_into(msg, scratch);
+        let payload = scratch.as_slice().to_vec();
+        self.send_raw(to, payload);
+    }
+
+    /// Hashes many independent inputs through the multi-lane SHA-256
+    /// engine ([`pba_crypto::sha256::batch_digest`]): bit-identical to
+    /// hashing each input with the scalar core, up to ~8× fewer compression
+    /// passes.
+    ///
+    /// This is the round engine's batching entry point: machines hand their
+    /// per-round hash workload (inbox digests, commitment openings, …) to
+    /// the engine in one call. The function is pure — no network state is
+    /// read or written — so worker threads under
+    /// [`crate::runner::run_phase_threaded`] each batch their own machines'
+    /// workloads and `BaConfig::threads` composes with lane-level batching.
+    pub fn hash_batch(&self, inputs: &[&[u8]]) -> Vec<Digest> {
+        pba_crypto::sha256::batch_digest(inputs)
     }
 
     /// Sends raw payload bytes to `to`.
@@ -522,6 +577,60 @@ mod tests {
                 buffered.metrics().party(id).recv_by_tag
             );
         }
+    }
+
+    #[test]
+    fn scratch_reuse_produces_identical_payloads() {
+        // Interleave typed and untyped sends of different lengths so stale
+        // scratch bytes would surface as payload corruption if the clear /
+        // exact-size-copy discipline broke.
+        let mut net = Network::new(2);
+        {
+            let mut ctx = net.ctx(PartyId(0), 0);
+            ctx.send_msg(PartyId(1), &TestQuery(7));
+            ctx.send(PartyId(1), &0xAABBCCDDu32);
+            ctx.send_msg(PartyId(1), &TestQuery(u64::MAX));
+            ctx.send(PartyId(1), &vec![1u8, 2, 3]);
+        }
+        let staged = net.take_staged();
+        assert_eq!(staged[0].payload, wire::encode_msg(&TestQuery(7)));
+        assert_eq!(
+            staged[1].payload,
+            pba_crypto::codec::encode_to_vec(&0xAABBCCDDu32)
+        );
+        assert_eq!(staged[2].payload, wire::encode_msg(&TestQuery(u64::MAX)));
+        assert_eq!(
+            staged[3].payload,
+            pba_crypto::codec::encode_to_vec(&vec![1u8, 2, 3])
+        );
+        // Exact-size copies: no scratch capacity leaks into envelopes.
+        for env in &staged {
+            assert_eq!(env.payload.len(), env.payload.capacity());
+        }
+    }
+
+    #[test]
+    fn hash_batch_matches_scalar_digests() {
+        let mut net = Network::new(1);
+        let inputs: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; i as usize * 7]).collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let ctx = net.ctx(PartyId(0), 0);
+        let batched = ctx.hash_batch(&refs);
+        let scalar: Vec<Digest> = refs.iter().map(|i| Sha256::digest(i)).collect();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn round_effects_equality_ignores_scratch() {
+        let mut a = RoundEffects::new();
+        let mut b = RoundEffects::new();
+        Ctx::buffered(PartyId(0), 0, 2, &mut a).send_msg(PartyId(1), &TestQuery(1));
+        Ctx::buffered(PartyId(0), 0, 2, &mut b).send_msg(PartyId(1), &TestQuery(1));
+        // Dirty one scratch differently: logs must still compare equal.
+        Ctx::buffered(PartyId(0), 0, 2, &mut b)
+            .scratch()
+            .extend([9u8; 40]);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! byte-identical to [`run_phase`]: identical staged-envelope order,
 //! identical metrics, and an identical rushing view for the adversary,
 //! which always runs on the calling thread after the merge.
+//!
+//! Thread-level parallelism composes with *lane-level* hash batching:
+//! machines route their per-round hash workloads through
+//! [`crate::network::Ctx::hash_batch`] (the multi-lane SHA-256 engine),
+//! which is pure — each worker batches its own machines' digests with no
+//! shared state, so `BaConfig::threads` and the engine's lanes multiply
+//! rather than contend.
 
 use crate::envelope::{Envelope, PartyId};
 use crate::network::{Ctx, Network, RoundEffects};

@@ -396,10 +396,21 @@ impl std::error::Error for WireError {}
 /// Encodes a typed message with its `{tag, step}` header.
 pub fn encode_msg<T: WireMsg>(msg: &T) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + msg.encoded_len());
+    encode_msg_into(msg, &mut buf);
+    buf
+}
+
+/// Encodes a typed message with its header into a caller-owned buffer.
+///
+/// The buffer is cleared first, so the result is byte-for-byte the
+/// [`encode_msg`] output; reusing one buffer across sends keeps its
+/// high-water capacity and avoids per-message growth reallocations (the
+/// `Ctx` send paths use this with a per-backend scratch buffer).
+pub fn encode_msg_into<T: WireMsg>(msg: &T, buf: &mut Vec<u8>) {
+    buf.clear();
     buf.push(T::TAG);
     buf.push(T::STEP);
-    msg.encode(&mut buf);
-    buf
+    msg.encode(buf);
 }
 
 /// Encoded wire length of a typed message (header included) — the

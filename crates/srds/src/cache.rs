@@ -19,10 +19,17 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+// Same memory-ordering contract as the Merkle proof-cache counters
+// (`pba_crypto::merkle`): relaxed, independently monotone event counts —
+// never used to synchronise other memory, not an atomic pair snapshot.
 static CERT_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CERT_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// `(hits, misses)` of the process-wide certificate-verification cache.
+///
+/// Each counter is monotone non-decreasing between resets on any thread;
+/// the pair is two independent relaxed loads, so derived hit rates are
+/// only exact while the threaded round engine is quiescent.
 pub fn cert_cache_stats() -> (u64, u64) {
     (
         CERT_CACHE_HITS.load(Ordering::Relaxed),
@@ -30,11 +37,18 @@ pub fn cert_cache_stats() -> (u64, u64) {
     )
 }
 
-/// Resets the process-wide certificate-cache counters (perf-harness runs
-/// only — tests asserting monotonicity must not race with this).
-pub fn reset_cert_cache_stats() {
-    CERT_CACHE_HITS.store(0, Ordering::Relaxed);
-    CERT_CACHE_MISSES.store(0, Ordering::Relaxed);
+/// Resets the process-wide certificate-cache counters and returns the
+/// values they held, `(hits, misses)`.
+///
+/// **Single-threaded entry points only** — same contract as
+/// `pba_crypto::merkle::reset_proof_cache_stats`: call from harness code
+/// while no threaded round engine is running, or monotonicity assertions
+/// on other threads will observe the counters going backwards.
+pub fn reset_cert_cache_stats() -> (u64, u64) {
+    (
+        CERT_CACHE_HITS.swap(0, Ordering::Relaxed),
+        CERT_CACHE_MISSES.swap(0, Ordering::Relaxed),
+    )
 }
 
 /// Memoizes deterministic verification verdicts keyed by an input digest.

@@ -1,0 +1,137 @@
+//! Property-based scalar-equivalence tests for the multi-lane batched
+//! SHA-256 engine (ISSUE 5): over arbitrary batch shapes, every batched
+//! API must produce output bit-identical to the scalar streaming core it
+//! replaces — that identity is what keeps transcript digests, golden
+//! chaos verdicts, and cert-cache keys unchanged.
+
+use pba_crypto::merkle::{hash_leaf, hash_leaf_batch, hash_node, hash_node_batch, MerkleTree};
+use pba_crypto::prg::Prg;
+use pba_crypto::sha256::{batch_digest, batch_digest_prefixed, Digest, Sha256, LANES};
+use proptest::prelude::*;
+use rand::RngCore;
+
+/// Arbitrary ragged batches: between 0 and 3× the lane width inputs, each
+/// up to a few blocks long so single-block, boundary, and multi-block
+/// schedules all appear.
+fn ragged_batches() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200),
+        0..(3 * LANES),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_digest_equals_scalar_on_ragged_batches(inputs in ragged_batches()) {
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batched = batch_digest(&refs);
+        let scalar: Vec<Digest> = refs.iter().map(|i| Sha256::digest(i)).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batch_digest_equals_scalar_on_uniform_batches(
+        len in 0usize..300,
+        count in 0usize..(2 * LANES + 1),
+        byte in any::<u8>(),
+    ) {
+        // Uniform lengths exercise the full-lane-group path (all inputs
+        // share one padded block count), including the 55/56/64/65-byte
+        // padding boundaries when `len` lands there.
+        let inputs: Vec<Vec<u8>> = (0..count)
+            .map(|i| vec![byte.wrapping_add(i as u8); len])
+            .collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batched = batch_digest(&refs);
+        let scalar: Vec<Digest> = refs.iter().map(|i| Sha256::digest(i)).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn padding_boundaries_survive_batching(byte in any::<u8>()) {
+        // One input at every FIPS 180-4 boundary length, hashed as one
+        // ragged batch: empty, one-below/at/above the 55-byte single-block
+        // padding limit, and the 64/65-byte block edges.
+        let inputs: Vec<Vec<u8>> = [0usize, 1, 54, 55, 56, 63, 64, 65, 119, 120, 128]
+            .iter()
+            .map(|&len| vec![byte; len])
+            .collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batched = batch_digest(&refs);
+        let scalar: Vec<Digest> = refs.iter().map(|i| Sha256::digest(i)).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn prefixed_batches_equal_concatenated_scalar(
+        prefix in proptest::collection::vec(any::<u8>(), 0..70),
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 0..(2 * LANES)),
+    ) {
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batched = batch_digest_prefixed(&prefix, &refs);
+        let scalar: Vec<Digest> = refs
+            .iter()
+            .map(|body| {
+                let mut h = Sha256::new();
+                h.update(&prefix);
+                h.update(body);
+                h.finalize()
+            })
+            .collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_merkle_build_equals_scalar_roots(leaf_count in 1usize..=257) {
+        let digests: Vec<Digest> = (0..leaf_count as u64)
+            .map(|i| Sha256::digest(&i.to_le_bytes()))
+            .collect();
+        let batched = MerkleTree::from_leaf_digests(digests.clone());
+        let scalar = MerkleTree::from_leaf_digests_scalar(digests);
+        prop_assert_eq!(batched.root(), scalar.root());
+        // Proofs from either tree verify against the other's root.
+        let idx = leaf_count / 2;
+        prop_assert_eq!(batched.prove(idx), scalar.prove(idx));
+    }
+
+    #[test]
+    fn batched_leaf_and_node_hashing_equal_scalar(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 1..20)
+    ) {
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let leaves = hash_leaf_batch(&refs);
+        let scalar_leaves: Vec<Digest> = refs.iter().map(|p| hash_leaf(p)).collect();
+        prop_assert_eq!(&leaves, &scalar_leaves);
+
+        let pairs: Vec<(Digest, Digest)> = leaves
+            .iter()
+            .zip(leaves.iter().rev())
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        let nodes = hash_node_batch(&pairs);
+        let scalar_nodes: Vec<Digest> = pairs.iter().map(|(a, b)| hash_node(a, b)).collect();
+        prop_assert_eq!(nodes, scalar_nodes);
+    }
+
+    #[test]
+    fn prg_bulk_expansion_equals_scalar(
+        seed in any::<[u8; 16]>(),
+        skew in 0usize..40,
+        len in 0usize..2000,
+    ) {
+        let mut bulk = Prg::from_seed_bytes(&seed);
+        let mut scalar = Prg::from_seed_bytes(&seed);
+        let mut pre = vec![0u8; skew];
+        bulk.fill_bytes(&mut pre);
+        scalar.fill_bytes_scalar(&mut pre);
+        let mut a = vec![0u8; len];
+        let mut b = vec![0u8; len];
+        bulk.fill_bytes(&mut a);
+        scalar.fill_bytes_scalar(&mut b);
+        prop_assert_eq!(a, b);
+        // Post-call states agree: the next draw is identical.
+        prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+    }
+}
