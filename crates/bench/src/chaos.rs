@@ -14,6 +14,13 @@
 //!   [`RunOutcome::Failed`] values, classified here as
 //!   [`ChaosVerdict::Degraded`].
 //!
+//! The matrix covers content faults (equivocation, garbling, floods, …)
+//! and timing faults (seeded per-link latency, healing and permanent
+//! partitions, crash-recovery churn). The pinned expectations: every
+//! latency-only row and every partition-that-heals row agrees; permanent
+//! partitions and churn past the catch-up window degrade gracefully; no
+//! timing row ever violates safety.
+//!
 //! Every case carries its exact seed and configuration;
 //! [`ChaosCase::repro`] prints a one-line recipe that reproduces the run
 //! bit-for-bit.
@@ -24,7 +31,7 @@ use pba_core::protocol::{
     try_run_ba, AdversaryProfile, BaConfig, Establishment, ProtocolError, ProtocolPhase, RunOutcome,
 };
 use pba_net::corruption::{max_corruptions, CorruptionPlan};
-use pba_net::faults::{GarbleMode, StrategySpec};
+use pba_net::faults::{GarbleMode, LatencyDist, StrategySpec};
 use pba_srds::snark::SnarkSrds;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -366,6 +373,68 @@ pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
         });
     }
 
+    // Timing faults beyond the catalogue sweep above (which already runs
+    // every timing strategy against the random and takeover placements):
+    // a fixed-lag link model, a partition that never heals (must degrade,
+    // never violate), churn that rejoins too late to catch up, churn that
+    // keeps a supermajority-threatening slice of honest parties dark for
+    // the whole run, and latency composed with content equivocation.
+    let t = max_corruptions(n, 0.10).max(1);
+    for spec in [
+        StrategySpec::Delay {
+            dist: LatencyDist::Fixed { delay: 1 },
+            budget: 2,
+        },
+        StrategySpec::Partition {
+            split: 24,
+            heal_at: None,
+        },
+        StrategySpec::Churn {
+            count: 4,
+            down: 6,
+            up: 18,
+        },
+        StrategySpec::Churn {
+            count: 20,
+            down: 0,
+            up: 4096,
+        },
+        StrategySpec::Compose(vec![
+            StrategySpec::Delay {
+                dist: LatencyDist::Uniform { max: 1 },
+                budget: 2,
+            },
+            StrategySpec::Equivocate,
+        ]),
+    ] {
+        let plan = CorruptionPlan::Random { t };
+        let seed = case_seed(base_seed, n, est, &plan, &spec);
+        cases.push(ChaosCase {
+            n,
+            establishment: est,
+            plan,
+            spec,
+            seed,
+        });
+    }
+
+    // Timing under interactive establishment: the delay queue installs
+    // after the metered election, and the lazy tick base keeps the link
+    // schedule identical to the charged column.
+    let spec = StrategySpec::Delay {
+        dist: LatencyDist::Uniform { max: 1 },
+        budget: 2,
+    };
+    let plan = CorruptionPlan::Random { t };
+    let seed = case_seed(base_seed, n, Establishment::Interactive, &plan, &spec);
+    cases.push(ChaosCase {
+        n,
+        establishment: Establishment::Interactive,
+        plan,
+        spec,
+        seed,
+    });
+
     cases
 }
 
@@ -459,6 +528,26 @@ mod tests {
         assert!(over
             .iter()
             .any(|c| matches!(c.plan, CorruptionPlan::Adaptive { .. })));
+        // Timing coverage: ≥ 10 timing rows spanning latency, healing and
+        // permanent partitions, churn, a timing × content composition, and
+        // at least one timing row under interactive establishment.
+        let timing: Vec<_> = cases
+            .iter()
+            .filter(|c| {
+                let l = c.spec.label();
+                l.contains("delay") || l.contains("partition") || l.contains("churn")
+            })
+            .collect();
+        assert!(timing.len() >= 10, "only {} timing rows", timing.len());
+        assert!(timing.iter().any(|c| c.spec.label().contains("heal")));
+        assert!(timing.iter().any(|c| c.spec.label().contains("forever")));
+        assert!(timing.iter().any(|c| c.spec.label().starts_with("churn")));
+        assert!(timing
+            .iter()
+            .any(|c| c.spec.label().contains("compose") && c.spec.label().contains("delay")));
+        assert!(timing
+            .iter()
+            .any(|c| c.establishment == Establishment::Interactive));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use crate::aggr::{charge_aggr_round, f_aggr_sig_uniform};
 use crate::phase_king::{rounds_for, PhaseKing, PkMsg};
-use crate::vss_coin::toss_coin_vss_threaded;
+use crate::vss_coin::toss_coin_vss_driven;
 use pba_aetree::analysis::{adaptive_targets, TreeAnalysis};
 use pba_aetree::fae::{charge_establishment, constant_adversary, disseminate, honest_adversary};
 use pba_aetree::params::TreeParams;
@@ -36,7 +36,7 @@ use pba_crypto::prg::Prg;
 use pba_crypto::sha256::Digest;
 use pba_net::corruption::CorruptionPlan;
 use pba_net::faults::StrategySpec;
-use pba_net::runner::{run_phase_threaded, AdvSender, Adversary};
+use pba_net::runner::{run_phase_driven, AdvSender, Adversary, RoundDriver};
 use pba_net::wire::{self, step, tag};
 use pba_net::{Envelope, Machine, Network, PartyId, Report, TagBreakdown, WireMsg};
 use pba_srds::traits::Srds;
@@ -596,6 +596,16 @@ where
             .collect();
         let analysis = TreeAnalysis::analyze(&tree, &corrupt);
 
+        // Timing faults: if the chaos spec carries a timing axis (latency,
+        // partition, churn), install the seeded delay-queue model now — the
+        // tick clock starts lazily at the first committee phase, so charged
+        // and interactive establishment see the same timing schedule.
+        if let Some(spec) = &config.chaos {
+            if let Some(model) = spec.timing_model(&corrupt, n, &prg.child("timing", 0)) {
+                net.set_timing(model);
+            }
+        }
+
         // idmap: slot s ↔ owner's j-th key.
         let mut occurrence: Vec<usize> = vec![0; n];
         let mut vks: Vec<S::VerificationKey> = Vec::with_capacity(total_slots);
@@ -702,6 +712,32 @@ where
         });
     }
 
+    /// Round driver for the committee sub-protocols: lockstep unless the
+    /// chaos spec demands a per-round delivery window wider than one tick.
+    fn round_driver(&self) -> RoundDriver {
+        let ticks = self
+            .config
+            .chaos
+            .as_ref()
+            .map_or(1, |spec| spec.round_budget());
+        if ticks > 1 {
+            RoundDriver::PartialSynchrony { ticks }
+        } else {
+            RoundDriver::Lockstep
+        }
+    }
+
+    /// Extra machine rounds granted to committee phases so recoverable
+    /// timing faults (healing partitions, rejoining churn victims) can
+    /// catch up before the budget expires.
+    fn round_slack(&self) -> u64 {
+        let ticks = self.round_driver().ticks();
+        self.config
+            .chaos
+            .as_ref()
+            .map_or(0, |spec| spec.round_slack(ticks))
+    }
+
     fn committee_adversary(&self, committee: &[PartyId]) -> Box<dyn Adversary> {
         if let Some(spec) = &self.config.chaos {
             return spec.build(
@@ -753,16 +789,19 @@ where
                 (p, PhaseKing::new(supreme.clone(), p, input))
             })
             .collect();
+        let driver = self.round_driver();
+        let slack = self.round_slack();
         let outcome = {
             let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
                 .iter_mut()
                 .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
                 .collect();
-            run_phase_threaded(
+            run_phase_driven(
                 &mut self.net,
                 &mut erased,
                 adversary.as_mut(),
-                rounds_for(supreme.len()) + 6,
+                rounds_for(supreme.len()) + 6 + slack,
+                driver,
                 self.config.threads.max(1),
             )
         };
@@ -804,13 +843,25 @@ where
         let supreme = self.supreme_committee();
         let mut adversary = self.committee_adversary(&supreme);
         let epoch = self.epoch;
-        let seeds = toss_coin_vss_threaded(
+        let driver = self.round_driver();
+        let slack = self.round_slack();
+        let seeds = match toss_coin_vss_driven(
             &mut self.net,
             &supreme,
             adversary.as_mut(),
             &mut self.prg.child("coin", epoch),
+            driver,
+            slack,
             self.config.threads.max(1),
-        );
+        ) {
+            Ok(seeds) => seeds,
+            Err(outcome) => {
+                return Err(ProtocolError::Timeout {
+                    phase: ProtocolPhase::CommitteeCoin,
+                    rounds: outcome.rounds,
+                })
+            }
+        };
         let values: BTreeSet<Digest> = seeds.values().copied().collect();
         if values.len() != 1 {
             return Err(ProtocolError::Disagreement {
@@ -864,7 +915,7 @@ where
             AdversaryProfile::Byzantine => Box::new(constant_adversary(garbage)),
         };
         let corrupt = self.corrupt.clone();
-        let ys_result = disseminate(
+        let mut ys_result = disseminate(
             &mut self.net,
             &self.tree,
             &corrupt,
@@ -875,6 +926,12 @@ where
             },
             adv.as_mut(),
         );
+        // Crash-recovery churn: a party offline while (y, s) travels the
+        // tree receives nothing here — it also signs nothing in step 4 and
+        // resyncs from the step 7–8 certificate spread once it rejoins.
+        for p in self.net.offline_set() {
+            ys_result.per_party[p.index()] = None;
+        }
         self.snap("3:disseminate-(y,s)");
 
         // ---- Step 4: sign per virtual identity, submit to leaf committees. ----
@@ -1061,7 +1118,7 @@ where
                 sig: encode_to_vec(sig),
             })
         });
-        let triple_result = triple_payload.as_ref().map(|payload| {
+        let mut triple_result = triple_payload.as_ref().map(|payload| {
             let mut adv: Box<pba_aetree::fae::AdversaryFn<'static>> = match self.config.profile {
                 AdversaryProfile::Passive => Box::new(honest_adversary()),
                 AdversaryProfile::Byzantine => {
@@ -1080,6 +1137,13 @@ where
                 adv.as_mut(),
             )
         });
+        // Fresh offline set: the tick advanced since step 3, so a party
+        // that rejoined in between participates here normally.
+        if let Some(result) = triple_result.as_mut() {
+            for p in self.net.offline_set() {
+                result.per_party[p.index()] = None;
+            }
+        }
         self.snap("6:disseminate-certificate");
 
         // ---- Steps 7–8: PRF spread and output. ----
@@ -1105,7 +1169,11 @@ where
         };
 
         if let Some(result) = &triple_result {
+            let offline = self.net.offline_set();
             for &p in &self.honest {
+                if offline.contains(&p) {
+                    continue; // down: cannot produce an output this epoch
+                }
                 if let Some(bytes) = &result.per_party[p.index()] {
                     if let Some(v_out) = verify_triple(bytes) {
                         outputs[p.index()] = Some(v_out);
@@ -1113,6 +1181,9 @@ where
                 }
             }
             for &p in &self.honest {
+                if offline.contains(&p) {
+                    continue; // down: sends nothing into the spread
+                }
                 let Some(bytes) = &result.per_party[p.index()] else {
                     continue;
                 };
@@ -1128,8 +1199,8 @@ where
                         bytes.len(),
                         tag::SPREAD,
                     );
-                    if corrupt.contains(&receiver) {
-                        continue;
+                    if corrupt.contains(&receiver) || offline.contains(&receiver) {
+                        continue; // corrupt ignores; offline expires unread
                     }
                     // Receiver-side dynamic filter (j ∈ F_s(i) holds by
                     // construction of the sender's target set; the receiver

@@ -26,7 +26,7 @@ use pba_crypto::prg::Prg;
 use pba_crypto::reed_solomon;
 use pba_crypto::sha256::{Digest, Sha256};
 use pba_crypto::shamir;
-use pba_net::runner::{run_phase_threaded, Adversary};
+use pba_net::runner::{run_phase_driven, Adversary, PhaseOutcome, RoundDriver};
 use pba_net::wire::{step, tag};
 use pba_net::{Ctx, Envelope, Machine, Network, PartyId, WireMsg};
 use std::collections::BTreeMap;
@@ -247,6 +247,39 @@ pub fn toss_coin_vss_threaded(
     prg: &mut Prg,
     threads: usize,
 ) -> BTreeMap<PartyId, Digest> {
+    toss_coin_vss_driven(
+        net,
+        committee,
+        adversary,
+        prg,
+        RoundDriver::Lockstep,
+        0,
+        threads,
+    )
+    .expect("phase-king terminated")
+}
+
+/// [`toss_coin_vss_threaded`] under an explicit [`RoundDriver`], fallible:
+/// timing faults (churned members offline past the phase budget, delays
+/// beyond the driver window) can leave a member without a phase-king
+/// output, which surfaces as `Err` with the failing phase's
+/// [`PhaseOutcome`] instead of a panic. `slack` extends both phase budgets
+/// by that many machine rounds so heal/rejoin events scheduled in tick
+/// time can land inside the phase.
+///
+/// A member that produced no candidate (e.g. it was offline through
+/// reconstruction) enters phase-king with [`Digest::ZERO`], exactly like a
+/// member whose dealer set was emptied by faults — the king agreement then
+/// decides whether the committee still converges.
+pub fn toss_coin_vss_driven(
+    net: &mut Network,
+    committee: &[PartyId],
+    adversary: &mut dyn Adversary,
+    prg: &mut Prg,
+    driver: RoundDriver,
+    slack: u64,
+    threads: usize,
+) -> Result<BTreeMap<PartyId, Digest>, PhaseOutcome> {
     let mut machines: BTreeMap<PartyId, VssCoin> = BTreeMap::new();
     for &id in committee {
         if !adversary.corrupted().contains(&id) {
@@ -259,7 +292,9 @@ pub fn toss_coin_vss_threaded(
             .iter_mut()
             .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
-        run_phase_threaded(net, &mut erased, adversary, 8, threads);
+        // The deal/echo outcome is advisory: a member that missed
+        // reconstruction enters agreement with a zero candidate.
+        run_phase_driven(net, &mut erased, adversary, 8 + slack, driver, threads);
     }
 
     let mut kings: BTreeMap<PartyId, PhaseKing<Digest>> = machines
@@ -269,24 +304,31 @@ pub fn toss_coin_vss_threaded(
             (id, PhaseKing::new(committee.to_vec(), id, candidate))
         })
         .collect();
-    {
+    let outcome = {
         let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = kings
             .iter_mut()
             .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
             .collect();
-        run_phase_threaded(
+        run_phase_driven(
             net,
             &mut erased,
             adversary,
-            rounds_for(committee.len()) + 6,
+            rounds_for(committee.len()) + 6 + slack,
+            driver,
             threads,
-        );
-    }
+        )
+    };
 
-    kings
-        .into_iter()
-        .map(|(id, m)| (id, *m.output().expect("phase-king terminated")))
-        .collect()
+    let mut seeds = BTreeMap::new();
+    for (id, m) in kings {
+        match m.output() {
+            Some(seed) => {
+                seeds.insert(id, *seed);
+            }
+            None => return Err(outcome),
+        }
+    }
+    Ok(seeds)
 }
 
 #[cfg(test)]

@@ -526,6 +526,161 @@ impl Adversary for Schedule {
     }
 }
 
+/// A seeded per-link latency distribution: how many *ticks* (delivery
+/// sub-rounds of the partial-synchrony driver) a message spends in
+/// flight. Sampling is a pure function of the [`Prg`] handed in, so the
+/// schedule replays bit-for-bit from the timing key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyDist {
+    /// Every message takes exactly `delay` ticks.
+    Fixed {
+        /// The constant delay.
+        delay: u64,
+    },
+    /// Uniform over `0..=max` ticks.
+    Uniform {
+        /// The inclusive maximum delay.
+        max: u64,
+    },
+    /// Geometric: each extra tick of delay occurs with probability
+    /// `num/den`, capped at `cap` ticks (the heavy-tail shape of queueing
+    /// delay, truncated so schedules stay bounded).
+    Geometric {
+        /// Numerator of the per-tick continuation probability.
+        num: u64,
+        /// Denominator of the per-tick continuation probability (`>= 1`).
+        den: u64,
+        /// Inclusive maximum delay.
+        cap: u64,
+    },
+}
+
+impl LatencyDist {
+    /// Draws one delay from the distribution.
+    pub fn sample(&self, prg: &mut Prg) -> u64 {
+        match self {
+            LatencyDist::Fixed { delay } => *delay,
+            LatencyDist::Uniform { max } => prg.gen_range(max + 1),
+            LatencyDist::Geometric { num, den, cap } => {
+                let mut d = 0;
+                while d < *cap && prg.gen_range((*den).max(1)) < *num {
+                    d += 1;
+                }
+                d
+            }
+        }
+    }
+
+    /// The largest delay the distribution can produce.
+    pub fn max_delay(&self) -> u64 {
+        match self {
+            LatencyDist::Fixed { delay } => *delay,
+            LatencyDist::Uniform { max } => *max,
+            LatencyDist::Geometric { cap, .. } => *cap,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            LatencyDist::Fixed { delay } => format!("fix{delay}"),
+            LatencyDist::Uniform { max } => format!("uni{max}"),
+            LatencyDist::Geometric { num, den, cap } => format!("geo{num}of{den}c{cap}"),
+        }
+    }
+}
+
+/// The *timing* half of a fault strategy, extracted by
+/// [`StrategySpec::timing_model`] and installed on the
+/// [`crate::network::Network`] ([`crate::network::Network::set_timing`]).
+///
+/// All three axes are pure functions of `(key, link, tick)` — the model
+/// holds no mutable state — so the delay queue behaves identically under
+/// the sequential and threaded round engines:
+///
+/// * **latency** — per-link delays drawn from a [`LatencyDist`] through a
+///   per-`(from, to, tick)` child PRG of the timing key;
+/// * **partition** — an *asymmetric* cut: messages from parties
+///   `>= split` to parties `< split` are dropped until the heal tick
+///   (`None` = never heals). The reverse direction stays up, modelling
+///   one-way reachability loss;
+/// * **churn** — crash-recovery windows `(party, down, up)`: the party is
+///   offline for ticks `down..up` (not stepped; mail expiring there is
+///   lost) and rejoins at `up` with whatever state it had, resyncing from
+///   the traffic and certificates it receives afterwards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingModel {
+    key: [u8; 32],
+    latency: Option<LatencyDist>,
+    partition: Option<(u64, Option<u64>)>,
+    churn: Vec<(PartyId, u64, u64)>,
+}
+
+impl TimingModel {
+    /// Assembles a model directly (harness/test entry point —
+    /// [`StrategySpec::timing_model`] is the production path).
+    pub fn new(
+        key: [u8; 32],
+        latency: Option<LatencyDist>,
+        partition: Option<(u64, Option<u64>)>,
+        churn: Vec<(PartyId, u64, u64)>,
+    ) -> Self {
+        TimingModel {
+            key,
+            latency,
+            partition,
+            churn,
+        }
+    }
+
+    /// The delay (in ticks) of a message staged on `from -> to` at `tick`
+    /// — a pure function of `(key, from, to, tick)`, identical however
+    /// many worker threads ran the machines.
+    pub fn delay(&self, from: PartyId, to: PartyId, tick: u64) -> u64 {
+        let Some(dist) = &self.latency else {
+            return 0;
+        };
+        let mut seed = Vec::with_capacity(56);
+        seed.extend_from_slice(&self.key);
+        seed.extend_from_slice(&from.0.to_le_bytes());
+        seed.extend_from_slice(&to.0.to_le_bytes());
+        seed.extend_from_slice(&tick.to_le_bytes());
+        let mut prg = Prg::from_seed_label(&seed, "link-delay");
+        dist.sample(&mut prg)
+    }
+
+    /// True when the partition drops `from -> to` traffic at `tick`.
+    pub fn blocked(&self, from: PartyId, to: PartyId, tick: u64) -> bool {
+        match self.partition {
+            Some((split, heal)) => {
+                from.0 >= split && to.0 < split && heal.is_none_or(|h| tick < h)
+            }
+            None => false,
+        }
+    }
+
+    /// True when `p` is inside one of its crash windows at `tick`.
+    pub fn offline(&self, p: PartyId, tick: u64) -> bool {
+        self.churn
+            .iter()
+            .any(|&(q, down, up)| q == p && down <= tick && tick < up)
+    }
+
+    /// Every party offline at `tick`.
+    pub fn offline_parties(&self, tick: u64) -> BTreeSet<PartyId> {
+        self.churn
+            .iter()
+            .filter(|&&(_, down, up)| down <= tick && tick < up)
+            .map(|&(p, _, _)| p)
+            .collect()
+    }
+
+    /// The largest latency the model can assign (0 without a latency
+    /// axis).
+    pub fn max_delay(&self) -> u64 {
+        self.latency.as_ref().map_or(0, |d| d.max_delay())
+    }
+}
+
 /// A declarative, printable description of a fault-injection strategy —
 /// the unit the chaos sweep enumerates. `Debug`-printing a spec together
 /// with the seed and corruption plan is a complete reproduction recipe.
@@ -566,6 +721,39 @@ pub enum StrategySpec {
     Compose(Vec<StrategySpec>),
     /// [`Schedule`] switching specs at the given round offsets.
     Phased(Vec<(u64, StrategySpec)>),
+    /// Timing fault: seeded per-link latency. Content-side the corrupted
+    /// parties stay silent; the timing side installs `dist` as the
+    /// [`TimingModel`] latency axis and asks the runner for a
+    /// partial-synchrony window of `budget` ticks per machine round —
+    /// delays `<= budget - 1` arrive in the next machine round, longer
+    /// ones straggle into later rounds or expire.
+    Delay {
+        /// Per-link delay distribution.
+        dist: LatencyDist,
+        /// Ticks per machine round granted to the round driver (`>= 1`).
+        budget: u64,
+    },
+    /// Timing fault: an asymmetric partition. Messages from parties
+    /// `>= split` to parties `< split` are dropped until tick `heal_at`
+    /// (`None` = the cut never heals).
+    Partition {
+        /// Boundary party id of the cut.
+        split: u64,
+        /// Healing tick, or `None` for a permanent cut.
+        heal_at: Option<u64>,
+    },
+    /// Timing fault: crash-recovery churn. The first `count` *honest*
+    /// parties crash at tick `down` and rejoin at tick `up` with stale
+    /// state, resyncing from the traffic and certificates they receive
+    /// after rejoining.
+    Churn {
+        /// How many honest parties churn.
+        count: usize,
+        /// Crash tick (inclusive).
+        down: u64,
+        /// Rejoin tick (exclusive end of the offline window).
+        up: u64,
+    },
 }
 
 impl StrategySpec {
@@ -604,6 +792,31 @@ impl StrategySpec {
                 (3, Equivocate),
                 (8, Replay { per_round: 2 }),
             ]),
+            Delay {
+                dist: LatencyDist::Uniform { max: 1 },
+                budget: 2,
+            },
+            Delay {
+                dist: LatencyDist::Uniform { max: 3 },
+                budget: 4,
+            },
+            Delay {
+                dist: LatencyDist::Geometric {
+                    num: 1,
+                    den: 2,
+                    cap: 3,
+                },
+                budget: 4,
+            },
+            Partition {
+                split: 24,
+                heal_at: Some(4),
+            },
+            Churn {
+                count: 2,
+                down: 2,
+                up: 10,
+            },
         ]
     }
 
@@ -676,6 +889,109 @@ impl StrategySpec {
                     .collect();
                 Box::new(Schedule::new(built))
             }
+            // Pure timing strategies have no content-side behaviour: their
+            // corrupted share (if any) stays silent, and the timing axes
+            // are installed on the network via [`StrategySpec::timing_model`].
+            StrategySpec::Delay { .. }
+            | StrategySpec::Partition { .. }
+            | StrategySpec::Churn { .. } => Box::new(SilentAdversary::new(corrupted)),
+        }
+    }
+
+    /// Extracts the timing half of the spec, or `None` when the spec has
+    /// no timing axis. `corrupted` and `n` resolve churn victims (the
+    /// first `count` honest ids — churn models *honest* crash-recovery,
+    /// never extra adversarial power), and `prg` derives the timing key
+    /// that seeds every per-link delay draw. [`StrategySpec::CrashAt`] and
+    /// [`StrategySpec::Compose`] recurse; [`StrategySpec::Phased`] does
+    /// not (its schedule already reinterprets rounds, and nesting the two
+    /// clocks would make windows unreadable).
+    pub fn timing_model(
+        &self,
+        corrupted: &BTreeSet<PartyId>,
+        n: usize,
+        prg: &Prg,
+    ) -> Option<TimingModel> {
+        let mut latency = None;
+        let mut partition = None;
+        let mut churn = Vec::new();
+        self.collect_timing(corrupted, n, &mut latency, &mut partition, &mut churn);
+        if latency.is_none() && partition.is_none() && churn.is_empty() {
+            return None;
+        }
+        let mut key = [0u8; 32];
+        prg.child("timing-key", 0).fill_bytes(&mut key);
+        Some(TimingModel {
+            key,
+            latency,
+            partition,
+            churn,
+        })
+    }
+
+    fn collect_timing(
+        &self,
+        corrupted: &BTreeSet<PartyId>,
+        n: usize,
+        latency: &mut Option<LatencyDist>,
+        partition: &mut Option<(u64, Option<u64>)>,
+        churn: &mut Vec<(PartyId, u64, u64)>,
+    ) {
+        match self {
+            StrategySpec::Delay { dist, .. } => *latency = Some(*dist),
+            StrategySpec::Partition { split, heal_at } => *partition = Some((*split, *heal_at)),
+            StrategySpec::Churn { count, down, up } => {
+                let victims = (0..n as u64)
+                    .map(PartyId)
+                    .filter(|p| !corrupted.contains(p))
+                    .take(*count);
+                churn.extend(victims.map(|p| (p, *down, *up)));
+            }
+            StrategySpec::CrashAt { inner, .. } => {
+                inner.collect_timing(corrupted, n, latency, partition, churn);
+            }
+            StrategySpec::Compose(parts) => {
+                for part in parts {
+                    part.collect_timing(corrupted, n, latency, partition, churn);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Ticks of delivery window per machine round the round driver should
+    /// grant — the max `budget` over every [`StrategySpec::Delay`] in the
+    /// tree, and 1 (lockstep) when the spec carries no latency.
+    pub fn round_budget(&self) -> u64 {
+        let budget = match self {
+            StrategySpec::Delay { budget, .. } => *budget,
+            StrategySpec::CrashAt { inner, .. } => inner.round_budget(),
+            StrategySpec::Compose(parts) => {
+                parts.iter().map(|p| p.round_budget()).max().unwrap_or(1)
+            }
+            _ => 1,
+        };
+        budget.max(1)
+    }
+
+    /// Extra machine rounds a phase budget should allow so that
+    /// heal/rejoin events scheduled in tick time can still land inside
+    /// the phase: ceil(window-end / ticks), capped at 64. Zero for specs
+    /// without partition-heal or churn windows.
+    pub fn round_slack(&self, ticks: u64) -> u64 {
+        let t = ticks.max(1);
+        match self {
+            StrategySpec::Churn { up, .. } => up.div_ceil(t).min(64),
+            StrategySpec::Partition {
+                heal_at: Some(h), ..
+            } => h.div_ceil(t).min(64),
+            StrategySpec::CrashAt { inner, .. } => inner.round_slack(ticks),
+            StrategySpec::Compose(parts) => parts
+                .iter()
+                .map(|p| p.round_slack(ticks))
+                .max()
+                .unwrap_or(0),
+            _ => 0,
         }
     }
 
@@ -708,6 +1024,16 @@ impl StrategySpec {
                     .map(|(r, s)| format!("{r}:{}", s.label()))
                     .collect();
                 format!("phased[{}]", labels.join(","))
+            }
+            StrategySpec::Delay { dist, budget } => {
+                format!("delay-{}-b{budget}", dist.label())
+            }
+            StrategySpec::Partition { split, heal_at } => match heal_at {
+                Some(h) => format!("partition-{split}-heal{h}"),
+                None => format!("partition-{split}-forever"),
+            },
+            StrategySpec::Churn { count, down, up } => {
+                format!("churn-{count}@{down}-{up}")
             }
         }
     }
@@ -1093,6 +1419,59 @@ mod tests {
             .label(),
             "crash@3(garble-both)"
         );
+        assert_eq!(
+            StrategySpec::Delay {
+                dist: LatencyDist::Fixed { delay: 1 },
+                budget: 2
+            }
+            .label(),
+            "delay-fix1-b2"
+        );
+        assert_eq!(
+            StrategySpec::Delay {
+                dist: LatencyDist::Uniform { max: 3 },
+                budget: 4
+            }
+            .label(),
+            "delay-uni3-b4"
+        );
+        assert_eq!(
+            StrategySpec::Delay {
+                dist: LatencyDist::Geometric {
+                    num: 1,
+                    den: 2,
+                    cap: 3
+                },
+                budget: 4
+            }
+            .label(),
+            "delay-geo1of2c3-b4"
+        );
+        assert_eq!(
+            StrategySpec::Partition {
+                split: 24,
+                heal_at: Some(4)
+            }
+            .label(),
+            "partition-24-heal4"
+        );
+        assert_eq!(
+            StrategySpec::Partition {
+                split: 24,
+                heal_at: None
+            }
+            .label(),
+            "partition-24-forever"
+        );
+        assert_eq!(
+            StrategySpec::Churn {
+                count: 2,
+                down: 2,
+                up: 10
+            }
+            .label(),
+            "churn-2@2-10"
+        );
         let labels: BTreeSet<String> = StrategySpec::catalogue()
             .iter()
             .map(|s| s.label())
@@ -1102,5 +1481,150 @@ mod tests {
             StrategySpec::catalogue().len(),
             "catalogue labels collide"
         );
+        // Labels stay space-free: the chaos case key is space-separated.
+        for spec in StrategySpec::catalogue() {
+            assert!(
+                !spec.label().contains(' '),
+                "label {:?} contains a space",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn link_delays_are_pure_and_seed_deterministic() {
+        let spec = StrategySpec::Delay {
+            dist: LatencyDist::Uniform { max: 3 },
+            budget: 4,
+        };
+        let model = |seed: &[u8]| {
+            spec.timing_model(&BTreeSet::new(), 8, &Prg::from_seed_bytes(seed))
+                .expect("delay spec has a timing axis")
+        };
+        let (a, b) = (model(b"t"), model(b"t"));
+        let mut saw_nonzero = false;
+        for from in (0..8).map(PartyId) {
+            for to in (0..8).map(PartyId) {
+                for tick in 0..16 {
+                    let d = a.delay(from, to, tick);
+                    // Pure in (link, tick): resampling never diverges.
+                    assert_eq!(d, a.delay(from, to, tick));
+                    assert_eq!(d, b.delay(from, to, tick));
+                    assert!(d <= 3);
+                    saw_nonzero |= d > 0;
+                }
+            }
+        }
+        assert!(saw_nonzero, "uniform(0..=3) never drew a delay");
+        // A different timing key reshuffles the schedule.
+        let c = model(b"u");
+        let differs = (0..16).any(|tick| {
+            a.delay(PartyId(0), PartyId(1), tick) != c.delay(PartyId(0), PartyId(1), tick)
+        });
+        assert!(differs, "delay schedule ignores the timing key");
+    }
+
+    #[test]
+    fn geometric_delays_respect_the_cap() {
+        let dist = LatencyDist::Geometric {
+            num: 9,
+            den: 10,
+            cap: 5,
+        };
+        let mut prg = Prg::from_seed_bytes(b"geo");
+        let mut hit_cap = false;
+        for _ in 0..200 {
+            let d = dist.sample(&mut prg);
+            assert!(d <= 5);
+            hit_cap |= d == 5;
+        }
+        assert!(hit_cap, "9/10 geometric never reached its cap in 200 draws");
+    }
+
+    #[test]
+    fn partition_blocks_one_direction_until_heal() {
+        let spec = StrategySpec::Partition {
+            split: 4,
+            heal_at: Some(3),
+        };
+        let model = spec
+            .timing_model(&BTreeSet::new(), 8, &Prg::from_seed_bytes(b"t"))
+            .expect("partition spec has a timing axis");
+        let (low, high) = (PartyId(1), PartyId(5));
+        for tick in 0..3 {
+            assert!(model.blocked(high, low, tick), "cut is down at tick {tick}");
+            assert!(!model.blocked(low, high, tick), "cut must be asymmetric");
+            assert!(!model.blocked(high, PartyId(6), tick));
+        }
+        for tick in 3..8 {
+            assert!(!model.blocked(high, low, tick), "cut healed at tick 3");
+        }
+        let forever = StrategySpec::Partition {
+            split: 4,
+            heal_at: None,
+        }
+        .timing_model(&BTreeSet::new(), 8, &Prg::from_seed_bytes(b"t"))
+        .expect("partition spec has a timing axis");
+        assert!(forever.blocked(high, low, 1_000_000));
+    }
+
+    #[test]
+    fn churn_victims_are_honest_and_windows_close() {
+        let corrupted: BTreeSet<PartyId> = [PartyId(0), PartyId(2)].into();
+        let spec = StrategySpec::Churn {
+            count: 2,
+            down: 3,
+            up: 7,
+        };
+        let model = spec
+            .timing_model(&corrupted, 8, &Prg::from_seed_bytes(b"t"))
+            .expect("churn spec has a timing axis");
+        // Victims skip corrupted ids: the first two honest are 1 and 3.
+        for victim in [PartyId(1), PartyId(3)] {
+            assert!(!model.offline(victim, 2));
+            assert!(model.offline(victim, 3));
+            assert!(model.offline(victim, 6));
+            assert!(!model.offline(victim, 7), "rejoined at tick 7");
+        }
+        assert!(!model.offline(PartyId(0), 4), "corrupted never churns");
+        assert!(!model.offline(PartyId(4), 4), "only `count` victims churn");
+        assert_eq!(
+            model.offline_parties(5),
+            [PartyId(1), PartyId(3)].into_iter().collect()
+        );
+        assert!(model.offline_parties(9).is_empty());
+    }
+
+    #[test]
+    fn timing_extraction_recurses_and_reports_budget_and_slack() {
+        let composed = StrategySpec::Compose(vec![
+            StrategySpec::Equivocate,
+            StrategySpec::CrashAt {
+                inner: Box::new(StrategySpec::Delay {
+                    dist: LatencyDist::Fixed { delay: 1 },
+                    budget: 3,
+                }),
+                round: 5,
+            },
+            StrategySpec::Churn {
+                count: 1,
+                down: 0,
+                up: 12,
+            },
+        ]);
+        let model = composed
+            .timing_model(&BTreeSet::new(), 6, &Prg::from_seed_bytes(b"t"))
+            .expect("composed spec carries timing axes");
+        assert_eq!(model.max_delay(), 1);
+        assert!(model.offline(PartyId(0), 11));
+        assert_eq!(composed.round_budget(), 3);
+        assert_eq!(composed.round_slack(3), 4); // ceil(12 / 3)
+        assert_eq!(composed.round_slack(1), 12);
+        // Content-only specs have no timing half at all.
+        assert!(StrategySpec::Equivocate
+            .timing_model(&BTreeSet::new(), 6, &Prg::from_seed_bytes(b"t"))
+            .is_none());
+        assert_eq!(StrategySpec::Equivocate.round_budget(), 1);
+        assert_eq!(StrategySpec::Equivocate.round_slack(1), 0);
     }
 }

@@ -19,7 +19,12 @@
 //!   against an [`runner::Adversary`];
 //! * [`corruption`] — corruption-set sampling plans;
 //! * [`faults`] — composable Byzantine fault-injection strategies
-//!   ([`faults::StrategySpec`]) for chaos testing;
+//!   ([`faults::StrategySpec`]) for chaos testing, covering both message
+//!   *content* (equivocation, garbling, floods, …) and *timing*: seeded
+//!   per-link latency, healing partitions, and crash-recovery churn
+//!   ([`faults::TimingModel`]), delivered through the network's
+//!   deterministic delay queue and the partial-synchrony
+//!   [`runner::RoundDriver`];
 //! * [`wire`] — the typed wire protocol: stable tag registry, `{tag, step}`
 //!   headers, the hardened [`wire::decode_msg`] entry point, and the
 //!   schema-driven [`wire::mutate_field`] used by structure-aware faults.
@@ -46,9 +51,11 @@ pub mod runner;
 pub mod wire;
 
 pub use envelope::{Envelope, PartyId};
+pub use faults::{LatencyDist, TimingModel};
 pub use metrics::{MetricsTable, Report, TagBreakdown};
-pub use network::{Ctx, Network, RoundEffects};
+pub use network::{Ctx, Network, RoundEffects, TimingStats};
 pub use runner::{
-    run_phase, run_phase_threaded, AdvSender, Adversary, Machine, PhaseOutcome, SilentAdversary,
+    run_phase, run_phase_driven, run_phase_threaded, AdvSender, Adversary, Machine, PhaseOutcome,
+    RoundDriver, SilentAdversary,
 };
 pub use wire::WireMsg;

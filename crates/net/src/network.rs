@@ -5,7 +5,12 @@
 //! channels, as in the paper):
 //!
 //! * messages sent in round `r` are delivered at the beginning of round
-//!   `r + 1`;
+//!   `r + 1` — unless a [`TimingModel`] is installed
+//!   ([`Network::set_timing`]), in which case staged traffic passes
+//!   through a deterministic delay queue: each message is stamped with a
+//!   deliver-at tick drawn from the seeded per-link latency distribution,
+//!   dropped by the partition cut, or expired when its receiver is
+//!   offline at delivery (see [`Network::take_staged`]);
 //! * channels are authenticated — the `from` field of an [`Envelope`] is
 //!   trustworthy for honest receivers;
 //! * receivers perform **dynamic message filtering**: a message costs its
@@ -27,10 +32,13 @@
 //! worker threads ran the machines.
 
 use crate::envelope::{Envelope, PartyId};
+use crate::faults::TimingModel;
 use crate::metrics::{MetricsTable, Report};
 use crate::wire::{self, WireMsg};
 use pba_crypto::codec::{decode_from_slice, Decode, Encode};
 use pba_crypto::{Digest, Sha256};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// One buffered network mutation (see [`RoundEffects`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +99,25 @@ impl RoundEffects {
     }
 }
 
+/// Counters kept by the delay queue while a [`TimingModel`] is installed.
+/// They satisfy the conservation law checked in `tests/proptest_timing.rs`:
+///
+/// `staged == delivered + expired_partition + expired_offline + in flight`
+///
+/// — a message is never silently lost; it is delivered (possibly late) or
+/// expires for a named reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Messages that entered the delay queue.
+    pub staged: u64,
+    /// Messages handed to the runner (on time or late).
+    pub delivered: u64,
+    /// Messages dropped by the partition cut.
+    pub expired_partition: u64,
+    /// Messages whose receiver was offline at the delivery tick.
+    pub expired_offline: u64,
+}
+
 /// The simulated synchronous network for one protocol execution.
 #[derive(Debug)]
 pub struct Network {
@@ -106,6 +133,19 @@ pub struct Network {
     /// its high-water capacity so message encoding never reallocates on
     /// the hot path.
     encode_scratch: Vec<u8>,
+    /// Delivery ticks elapsed: one per [`Network::bump_round`].
+    now: u64,
+    /// The delay queue: messages keyed by their deliver-at tick. Only
+    /// populated while a timing model is installed.
+    in_flight: BTreeMap<u64, Vec<Envelope>>,
+    /// The installed timing faults, if any (see [`Network::set_timing`]).
+    timing: Option<TimingModel>,
+    /// Tick zero of the timing model — set lazily at the first
+    /// [`Network::take_staged`] after installation, so the model's tick
+    /// coordinates start at the first delivery it governs regardless of
+    /// how many synthetic rounds (establishment, fan-in) preceded it.
+    timing_base: Option<u64>,
+    stats: TimingStats,
 }
 
 impl Network {
@@ -117,6 +157,11 @@ impl Network {
             staged: Vec::new(),
             transcript: None,
             encode_scratch: Vec::new(),
+            now: 0,
+            in_flight: BTreeMap::new(),
+            timing: None,
+            timing_base: None,
+            stats: TimingStats::default(),
         }
     }
 
@@ -202,9 +247,52 @@ impl Network {
         }
     }
 
-    /// Takes all staged envelopes (the runner calls this at round boundary).
+    /// Takes the deliverable envelopes (the runner calls this at each tick
+    /// boundary).
+    ///
+    /// Without a timing model this is the classic synchronous semantics:
+    /// everything staged since the last call, byte-identical to the
+    /// pre-timing network. With a model installed, staged envelopes are
+    /// first admitted to the delay queue — dropped if the partition blocks
+    /// the link, stamped `deliver_at = now + delay(from, to, tick)`
+    /// otherwise, and expired if the receiver is offline at that tick —
+    /// and then every queue bucket due at or before `now` is drained in
+    /// tick order (insertion order within a tick). Delays are a pure
+    /// function of `(timing key, link, tick)`, so this sequence is
+    /// identical under the sequential and threaded round engines.
     pub fn take_staged(&mut self) -> Vec<Envelope> {
-        let batch = std::mem::take(&mut self.staged);
+        let batch = if self.timing.is_some() {
+            let model = self.timing.take().expect("timing model present");
+            let base = *self.timing_base.get_or_insert(self.now);
+            let tick = self.now - base;
+            for env in std::mem::take(&mut self.staged) {
+                self.stats.staged += 1;
+                if model.blocked(env.from, env.to, tick) {
+                    self.stats.expired_partition += 1;
+                    continue;
+                }
+                let deliver_at = self.now + model.delay(env.from, env.to, tick);
+                if model.offline(env.to, deliver_at - base) {
+                    self.stats.expired_offline += 1;
+                    continue;
+                }
+                self.in_flight.entry(deliver_at).or_default().push(env);
+            }
+            let due: Vec<u64> = self
+                .in_flight
+                .range(..=self.now)
+                .map(|(&at, _)| at)
+                .collect();
+            let mut batch = Vec::new();
+            for at in due {
+                batch.extend(self.in_flight.remove(&at).expect("bucket exists"));
+            }
+            self.stats.delivered += batch.len() as u64;
+            self.timing = Some(model);
+            batch
+        } else {
+            std::mem::take(&mut self.staged)
+        };
         if let Some(entries) = &mut self.transcript {
             let mut h = Sha256::new();
             h.update(b"net-transcript");
@@ -228,9 +316,60 @@ impl Network {
         &self.staged
     }
 
-    /// Advances the round counter.
+    /// Advances the round counter and the delivery tick.
     pub fn bump_round(&mut self) {
+        self.now += 1;
         self.metrics.bump_round();
+    }
+
+    /// Installs timing faults: subsequent [`Network::take_staged`] calls
+    /// route staged traffic through the delay queue. The model's tick zero
+    /// is the first `take_staged` after this call.
+    pub fn set_timing(&mut self, model: TimingModel) {
+        self.timing = Some(model);
+        self.timing_base = None;
+    }
+
+    /// The installed timing model, if any.
+    pub fn timing(&self) -> Option<&TimingModel> {
+        self.timing.as_ref()
+    }
+
+    /// Delay-queue counters (all zero without a timing model).
+    pub fn timing_stats(&self) -> TimingStats {
+        self.stats
+    }
+
+    /// Messages currently sitting in the delay queue.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.values().map(Vec::len).sum()
+    }
+
+    /// Ticks elapsed since the network was created (one per
+    /// [`Network::bump_round`]).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The current tick in the timing model's coordinates (0 before the
+    /// model's clock starts).
+    fn timing_tick(&self) -> u64 {
+        self.now - self.timing_base.unwrap_or(self.now)
+    }
+
+    /// True when the timing model has `p` crashed at the current tick.
+    pub fn offline_now(&self, p: PartyId) -> bool {
+        self.timing
+            .as_ref()
+            .is_some_and(|m| m.offline(p, self.timing_tick()))
+    }
+
+    /// Every party the timing model has crashed at the current tick.
+    pub fn offline_set(&self) -> BTreeSet<PartyId> {
+        self.timing
+            .as_ref()
+            .map(|m| m.offline_parties(self.timing_tick()))
+            .unwrap_or_default()
     }
 
     /// Creates the per-party context for sending/receiving in a round.
@@ -631,6 +770,122 @@ mod tests {
             .scratch()
             .extend([9u8; 40]);
         assert_eq!(a, b);
+    }
+
+    /// A timing model with a single fixed-latency axis and no partition or
+    /// churn, on a throwaway key.
+    fn fixed_delay_model(delay: u64) -> TimingModel {
+        TimingModel::new(
+            [7u8; 32],
+            Some(crate::faults::LatencyDist::Fixed { delay }),
+            None,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn zero_delay_model_is_byte_identical_to_no_model() {
+        let run = |timed: bool| {
+            let mut net = Network::new(2);
+            net.enable_transcript();
+            if timed {
+                net.set_timing(fixed_delay_model(0));
+            }
+            let mut batches = Vec::new();
+            for round in 0..3u8 {
+                net.stage(Envelope::new(PartyId(0), PartyId(1), vec![round]));
+                batches.push(net.take_staged());
+                net.bump_round();
+            }
+            (batches, net.transcript().unwrap().to_vec())
+        };
+        assert_eq!(run(false), run(true));
+        let mut net = Network::new(2);
+        net.set_timing(fixed_delay_model(0));
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![1]));
+        net.take_staged();
+        let stats = net.timing_stats();
+        assert_eq!((stats.staged, stats.delivered), (1, 1));
+        assert_eq!(net.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn one_tick_delay_delivers_one_round_late() {
+        let mut net = Network::new(2);
+        net.set_timing(fixed_delay_model(1));
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![9]));
+        // Staged at tick 0 with delay 1: not due yet.
+        assert!(net.take_staged().is_empty());
+        assert_eq!(net.in_flight_len(), 1);
+        net.bump_round();
+        let late = net.take_staged();
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].payload, vec![9]);
+        assert_eq!(net.in_flight_len(), 0);
+        assert_eq!(net.timing_stats().delivered, 1);
+    }
+
+    #[test]
+    fn timing_base_is_lazy() {
+        // Rounds bumped before the first delivery do not consume model
+        // ticks: the clock starts at the first `take_staged`.
+        let mut net = Network::new(2);
+        net.set_timing(TimingModel::new(
+            [7u8; 32],
+            None,
+            None,
+            vec![(PartyId(1), 0, 2)],
+        ));
+        for _ in 0..10 {
+            net.bump_round(); // synthetic pre-phase rounds
+        }
+        assert!(net.offline_now(PartyId(1)), "window starts at tick 0");
+        net.take_staged(); // clock starts: tick 0
+        assert!(net.offline_now(PartyId(1)));
+        net.bump_round();
+        net.bump_round();
+        assert!(!net.offline_now(PartyId(1)), "rejoined at tick 2");
+        assert!(net.offline_set().is_empty());
+    }
+
+    #[test]
+    fn expired_messages_are_counted_not_lost() {
+        // Receiver 0 is offline for ticks 0..2; the partition blocks
+        // 1 -> 0 is not configured here, so expiry is all churn.
+        let mut net = Network::new(2);
+        net.set_timing(TimingModel::new(
+            [7u8; 32],
+            None,
+            Some((1, Some(1))),
+            vec![(PartyId(0), 0, 2)],
+        ));
+        // Tick 0: 1 -> 0 is blocked by the partition (from >= 1, to < 1).
+        net.stage(Envelope::new(PartyId(1), PartyId(0), vec![1]));
+        // 0 -> 1 passes (partition is asymmetric).
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![2]));
+        let batch = net.take_staged();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].payload, vec![2]);
+        net.bump_round();
+        // Tick 1: the cut healed, but the receiver is offline until tick 2.
+        net.stage(Envelope::new(PartyId(1), PartyId(0), vec![3]));
+        assert!(net.take_staged().is_empty());
+        net.bump_round();
+        // Tick 2: receiver is back; delivery resumes.
+        net.stage(Envelope::new(PartyId(1), PartyId(0), vec![4]));
+        assert_eq!(net.take_staged().len(), 1);
+        let stats = net.timing_stats();
+        assert_eq!(stats.staged, 4);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.expired_partition, 1);
+        assert_eq!(stats.expired_offline, 1);
+        assert_eq!(
+            stats.staged,
+            stats.delivered
+                + stats.expired_partition
+                + stats.expired_offline
+                + net.in_flight_len() as u64
+        );
     }
 
     #[test]

@@ -186,6 +186,36 @@ pub struct PhaseOutcome {
     pub completed: bool,
 }
 
+/// How the runner turns machine rounds into network delivery ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundDriver {
+    /// The classic synchronous schedule: one delivery tick per machine
+    /// round — everything staged in round `r` is on the wire for round
+    /// `r + 1`.
+    Lockstep,
+    /// Partial synchrony: each machine round opens a delivery window of
+    /// `ticks` network ticks and fires on that *timeout budget* rather
+    /// than on quiescence. A message delayed `d <= ticks - 1` ticks still
+    /// arrives in the next machine round (the window absorbs it); longer
+    /// delays straggle into later rounds or expire, and machines that run
+    /// out of phase budget waiting report an incomplete
+    /// [`PhaseOutcome`] — timing pressure becomes a real timeout.
+    PartialSynchrony {
+        /// Delivery ticks per machine round (`>= 1`).
+        ticks: u64,
+    },
+}
+
+impl RoundDriver {
+    /// Delivery ticks opened per machine round.
+    pub fn ticks(&self) -> u64 {
+        match self {
+            RoundDriver::Lockstep => 1,
+            RoundDriver::PartialSynchrony { ticks } => (*ticks).max(1),
+        }
+    }
+}
+
 /// Runs one phase sequentially — equivalent to [`run_phase_threaded`] with
 /// one worker.
 ///
@@ -226,20 +256,62 @@ pub fn run_phase_threaded(
     max_rounds: u64,
     threads: usize,
 ) -> PhaseOutcome {
+    run_phase_driven(
+        net,
+        machines,
+        adversary,
+        max_rounds,
+        RoundDriver::Lockstep,
+        threads,
+    )
+}
+
+/// Runs one phase under an explicit [`RoundDriver`].
+///
+/// [`RoundDriver::Lockstep`] is exactly [`run_phase_threaded`]. Under
+/// [`RoundDriver::PartialSynchrony`] each machine round drains a window of
+/// `ticks` delivery ticks from the network before the machines act: late
+/// messages surface in the machine round whose window covers their
+/// deliver-at tick, and parties the network's timing model reports offline
+/// are not stepped (their state freezes; their inbox for that round is
+/// dropped — the delay queue has already accounted those messages as
+/// delivered). A phase whose machines are still waiting on straggling or
+/// expired traffic at `max_rounds` reports `completed = false`, which the
+/// protocol layer surfaces as a timeout.
+///
+/// # Panics
+///
+/// Panics if a corrupted identity appears among the honest machines, or if
+/// a machine panics on a worker thread.
+pub fn run_phase_driven(
+    net: &mut Network,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
+    adversary: &mut dyn Adversary,
+    max_rounds: u64,
+    driver: RoundDriver,
+    threads: usize,
+) -> PhaseOutcome {
     for id in machines.keys() {
         assert!(
             !adversary.corrupted().contains(id),
             "party {id} is both honest and corrupted"
         );
     }
-    // Drop any stale cross-phase messages.
+    // Drop any stale cross-phase messages that are *due*. Traffic still in
+    // the delay queue survives into this phase and arrives in the machine
+    // round whose window covers its deliver-at tick.
     net.take_staged();
 
+    let ticks = driver.ticks();
     let mut rounds = 0;
     let mut completed = false;
     while rounds < max_rounds {
-        let delivered = net.take_staged();
+        let mut delivered = net.take_staged();
         net.bump_round();
+        for _ in 1..ticks {
+            delivered.extend(net.take_staged());
+            net.bump_round();
+        }
         rounds += 1;
 
         // Partition deliveries per receiver.
@@ -248,15 +320,30 @@ pub fn run_phase_threaded(
             inboxes.entry(env.to).or_default().push(env);
         }
 
+        // Crash-recovery churn: parties offline at this tick keep their
+        // (stale) state and miss the round entirely.
+        let offline: BTreeSet<PartyId> = if net.timing().is_some() {
+            machines
+                .keys()
+                .filter(|&&id| net.offline_now(id))
+                .copied()
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+
         // Honest parties act first.
         if threads <= 1 || machines.len() <= 1 {
             for (&id, machine) in machines.iter_mut() {
                 let inbox = inboxes.remove(&id).unwrap_or_default();
+                if offline.contains(&id) {
+                    continue;
+                }
                 let mut ctx = net.ctx(id, rounds - 1);
                 machine.on_round(&mut ctx, &inbox);
             }
         } else {
-            step_machines_parallel(net, machines, &mut inboxes, rounds - 1, threads);
+            step_machines_parallel(net, machines, &mut inboxes, rounds - 1, threads, &offline);
         }
 
         // Rushing: adversary sees this round's honest messages to corrupted
@@ -302,15 +389,24 @@ fn step_machines_parallel(
     inboxes: &mut BTreeMap<PartyId, Vec<Envelope>>,
     round: u64,
     threads: usize,
+    offline: &BTreeSet<PartyId>,
 ) {
     let n = net.len();
     let mut items: Vec<(PartyId, &mut (dyn Machine + Send), Vec<Envelope>)> = machines
         .iter_mut()
-        .map(|(&id, machine)| {
+        .filter_map(|(&id, machine)| {
             let inbox = inboxes.remove(&id).unwrap_or_default();
-            (id, machine.as_mut(), inbox)
+            if offline.contains(&id) {
+                // Same as the sequential engine: the inbox is consumed and
+                // dropped, the machine is not stepped.
+                return None;
+            }
+            Some((id, machine.as_mut(), inbox))
         })
         .collect();
+    if items.is_empty() {
+        return; // every machine offline this round
+    }
     let chunk_len = items.len().div_ceil(threads.max(1));
     let mut batches: Vec<Vec<RoundEffects>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -571,6 +667,272 @@ mod tests {
             .collect();
         let mut adv = SilentAdversary::default();
         run_phase_threaded(&mut net, &mut machines, &mut adv, 2, 2);
+    }
+
+    use crate::faults::{LatencyDist, TimingModel};
+
+    /// Broadcasts its round number every round and records every payload
+    /// it processed, tagged with the round it arrived in.
+    struct Recorder {
+        id: PartyId,
+        n: u64,
+        got: Vec<(u64, u64)>, // (arrival round, payload value)
+        rounds: u64,
+        quota: u64,
+    }
+
+    impl Machine for Recorder {
+        fn on_round(&mut self, ctx: &mut Ctx<'_>, inbox: &[Envelope]) {
+            let round = ctx.round();
+            for env in inbox {
+                if let Some(v) = ctx.read::<u64>(env) {
+                    self.got.push((round, v));
+                }
+            }
+            for to in (0..self.n).map(PartyId) {
+                if to != self.id {
+                    ctx.send(to, &round);
+                }
+            }
+            self.rounds += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.rounds >= self.quota
+        }
+    }
+
+    fn recorders(n: u64, quota: u64) -> BTreeMap<PartyId, Recorder> {
+        (0..n)
+            .map(|i| {
+                (
+                    PartyId(i),
+                    Recorder {
+                        id: PartyId(i),
+                        n,
+                        got: Vec::new(),
+                        rounds: 0,
+                        quota,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Runs one driven phase over concrete [`Recorder`] machines, keeping
+    /// them inspectable afterwards.
+    fn drive_recorders(
+        net: &mut Network,
+        machines: &mut BTreeMap<PartyId, Recorder>,
+        max_rounds: u64,
+        driver: RoundDriver,
+        threads: usize,
+    ) -> PhaseOutcome {
+        let mut adv = SilentAdversary::default();
+        let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
+            .iter_mut()
+            .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
+            .collect();
+        run_phase_driven(net, &mut erased, &mut adv, max_rounds, driver, threads)
+    }
+
+    #[test]
+    fn delayed_message_crosses_phase_boundary() {
+        // Regression for the all-messages-consumed-same-round assumption:
+        // with a one-tick delay, traffic sent in phase 1's last round is
+        // still in flight at the phase boundary. The next phase's
+        // stale-drop must NOT discard it — it arrives in phase 2.
+        let mut net = Network::new(2);
+        net.set_timing(TimingModel::new(
+            [3u8; 32],
+            Some(LatencyDist::Fixed { delay: 1 }),
+            None,
+            Vec::new(),
+        ));
+        let driver = RoundDriver::PartialSynchrony { ticks: 2 };
+
+        let mut phase1 = recorders(2, 1); // sends once, then done
+        drive_recorders(&mut net, &mut phase1, 4, driver, 1);
+        // The last round's sends are still sitting at the boundary.
+        assert_eq!(net.staged().len(), 2, "phase-1 traffic still pending");
+
+        let mut phase2 = recorders(2, 3);
+        drive_recorders(&mut net, &mut phase2, 4, driver, 1);
+        // The delayed phase-1 payload (round value 0) crossed the boundary
+        // and was processed by the phase-2 machines.
+        assert!(
+            phase2[&PartyId(0)].got.iter().any(|&(_, value)| value == 0),
+            "phase-1 traffic lost at the phase boundary: got {:?}",
+            phase2[&PartyId(0)].got
+        );
+        // Nothing in flight or silently lost: the ledger closes.
+        let stats = net.timing_stats();
+        assert_eq!(net.in_flight_len(), 0);
+        assert_eq!(stats.staged, stats.delivered, "no expiry axes configured");
+    }
+
+    #[test]
+    fn stale_drop_still_discards_due_messages() {
+        // The other half of the phase-boundary contract: with zero delay,
+        // cross-phase messages are due at the boundary and the stale-drop
+        // swallows them, exactly as the lockstep engine always has.
+        let mut net = Network::new(2);
+        net.set_timing(TimingModel::new(
+            [3u8; 32],
+            Some(LatencyDist::Fixed { delay: 0 }),
+            None,
+            Vec::new(),
+        ));
+        let mut phase1 = recorders(2, 1);
+        drive_recorders(&mut net, &mut phase1, 4, RoundDriver::Lockstep, 1);
+        assert_eq!(net.in_flight_len(), 0);
+
+        let mut phase2 = recorders(2, 2);
+        drive_recorders(&mut net, &mut phase2, 4, RoundDriver::Lockstep, 1);
+        for recorder in phase2.values() {
+            // Phase-2 round 0 delivers nothing: the phase-1 messages were
+            // due at the boundary and the stale-drop swallowed them.
+            assert!(
+                recorder.got.iter().all(|&(round, _)| round > 0),
+                "stale cross-phase traffic must be dropped, got {:?}",
+                recorder.got
+            );
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_window_absorbs_delays_within_budget() {
+        // delay <= ticks - 1: the window absorbs the latency and machines
+        // observe the classic next-round delivery schedule.
+        let run = |delay: u64, ticks: u64| {
+            let mut net = Network::new(3);
+            net.set_timing(TimingModel::new(
+                [5u8; 32],
+                Some(LatencyDist::Fixed { delay }),
+                None,
+                Vec::new(),
+            ));
+            let mut machines = recorders(3, 4);
+            let out = drive_recorders(
+                &mut net,
+                &mut machines,
+                8,
+                RoundDriver::PartialSynchrony { ticks },
+                1,
+            );
+            assert!(out.completed);
+            machines[&PartyId(0)].got.clone()
+        };
+        let lockstep = run(0, 2);
+        let delayed = run(1, 2);
+        assert_eq!(
+            lockstep, delayed,
+            "a 1-tick delay inside a 2-tick window must be invisible"
+        );
+        assert!(
+            lockstep.iter().any(|&(round, value)| round == value + 1),
+            "messages arrive the machine round after they were sent"
+        );
+    }
+
+    #[test]
+    fn over_budget_delay_jams_completion() {
+        // delay == ticks: every message misses its window and arrives a
+        // machine round late. A machine waiting for round-r traffic at
+        // round r + 1 never sees it in time; the phase must time out
+        // rather than hang or panic — this is ProtocolError::Timeout's
+        // runner-level source under real timing pressure.
+        struct NeedsPrompt {
+            id: PartyId,
+            heard: bool,
+            rounds: u64,
+        }
+        impl Machine for NeedsPrompt {
+            fn on_round(&mut self, ctx: &mut Ctx<'_>, inbox: &[Envelope]) {
+                // Expect the peer's round-(r-1) message at round r.
+                let round = ctx.round();
+                for env in inbox {
+                    if let Some(v) = ctx.read::<u64>(env) {
+                        if v + 1 == round {
+                            self.heard = true;
+                        }
+                    }
+                }
+                let peer = PartyId(1 - self.id.0);
+                ctx.send(peer, &round);
+                self.rounds += 1;
+            }
+            fn is_done(&self) -> bool {
+                self.heard
+            }
+        }
+        let mut net = Network::new(2);
+        net.set_timing(TimingModel::new(
+            [5u8; 32],
+            Some(LatencyDist::Fixed { delay: 2 }),
+            None,
+            Vec::new(),
+        ));
+        let mut adv = SilentAdversary::default();
+        let mut machines: BTreeMap<PartyId, Box<dyn Machine + Send>> = (0..2)
+            .map(|i| {
+                (
+                    PartyId(i),
+                    Box::new(NeedsPrompt {
+                        id: PartyId(i),
+                        heard: false,
+                        rounds: 0,
+                    }) as Box<dyn Machine + Send>,
+                )
+            })
+            .collect();
+        let out = run_phase_driven(
+            &mut net,
+            &mut machines,
+            &mut adv,
+            6,
+            RoundDriver::PartialSynchrony { ticks: 2 },
+            1,
+        );
+        assert!(!out.completed, "over-budget delay must surface as timeout");
+        assert_eq!(out.rounds, 6);
+    }
+
+    #[test]
+    fn offline_machines_freeze_and_resume() {
+        // Party 1 crashes for ticks 2..4: it misses those rounds entirely
+        // (state frozen), then resumes and still reaches its quota if the
+        // budget allows. Identical under sequential and threaded stepping.
+        let run = |threads: usize| {
+            let mut net = Network::new(3);
+            net.enable_transcript();
+            net.set_timing(TimingModel::new(
+                [9u8; 32],
+                None,
+                None,
+                vec![(PartyId(1), 2, 4)],
+            ));
+            let mut machines = recorders(3, 5);
+            let out = drive_recorders(&mut net, &mut machines, 12, RoundDriver::Lockstep, threads);
+            assert!(out.completed);
+            let m1 = &machines[&PartyId(1)];
+            (
+                out,
+                m1.got.clone(),
+                m1.rounds,
+                net.transcript().unwrap().to_vec(),
+            )
+        };
+        let (out, got, stepped, transcript) = run(1);
+        // The two offline rounds were missed: 5 quota rounds need 7 wall
+        // rounds.
+        assert_eq!(stepped, 5);
+        assert!(out.rounds > 5, "offline rounds cost wall-clock rounds");
+        assert!(
+            got.iter().all(|&(round, _)| !(2..4).contains(&round)),
+            "inbox during the crash window must be dropped"
+        );
+        let threaded = run(3);
+        assert_eq!((out, got, stepped, transcript), threaded);
     }
 
     #[test]

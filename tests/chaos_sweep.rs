@@ -10,7 +10,9 @@
 //! placements that used to stall certification (σ_root never formed over
 //! the single-copy ascent) now reach agreement over redundant paths,
 //! while over-bound plans — including the adaptive one — are still
-//! rejected at the establishment bound check.
+//! rejected at the establishment bound check. The timing rows pin the
+//! partial-synchrony driver: bounded latency and healed partitions are
+//! absorbed, whole-run churn times out gracefully, and nothing violates.
 
 use pba_bench::chaos::{
     default_cases, render_sweep, run_case, run_sweep, ChaosReport, ChaosVerdict,
@@ -68,6 +70,22 @@ const GOLDEN: &[(&str, &str)] = &[
         "48 charged explicit-11 phased[0:garble-bitflip,3:equivocate,8:replay-2]",
         "agreed(Some(1))",
     ),
+    ("48 charged random-4 delay-uni1-b2", "agreed(Some(1))"),
+    ("48 charged explicit-12 delay-uni1-b2", "agreed(Some(1))"),
+    ("48 charged random-4 delay-uni3-b4", "agreed(Some(1))"),
+    ("48 charged explicit-11 delay-uni3-b4", "agreed(Some(1))"),
+    ("48 charged random-4 delay-geo1of2c3-b4", "agreed(Some(1))"),
+    (
+        "48 charged explicit-11 delay-geo1of2c3-b4",
+        "agreed(Some(1))",
+    ),
+    ("48 charged random-4 partition-24-heal4", "agreed(Some(1))"),
+    (
+        "48 charged explicit-12 partition-24-heal4",
+        "agreed(Some(1))",
+    ),
+    ("48 charged random-4 churn-2@2-10", "agreed(Some(1))"),
+    ("48 charged explicit-11 churn-2@2-10", "agreed(Some(1))"),
     ("64 charged suffix-16 equivocate", "agreed(Some(1))"),
     ("64 charged stride-16x3+1 equivocate", "agreed(Some(1))"),
     ("64 charged suffix-16 garble-both", "agreed(Some(1))"),
@@ -104,6 +122,21 @@ const GOLDEN: &[(&str, &str)] = &[
     ("48 charged random-16 silent", "degraded(establishment)"),
     ("48 charged random-16 equivocate", "degraded(establishment)"),
     ("48 charged adaptive-16 silent", "degraded(establishment)"),
+    ("48 charged random-4 delay-fix1-b2", "agreed(Some(1))"),
+    (
+        "48 charged random-4 partition-24-forever",
+        "agreed(Some(1))",
+    ),
+    ("48 charged random-4 churn-4@6-18", "agreed(Some(1))"),
+    (
+        "48 charged random-4 churn-20@0-4096",
+        "degraded(committee-ba)",
+    ),
+    (
+        "48 charged random-4 compose[delay-uni1-b2+equivocate]",
+        "agreed(Some(1))",
+    ),
+    ("48 interactive random-4 delay-uni1-b2", "agreed(Some(1))"),
 ];
 
 /// Cases that stalled certification (`only 0 of N honest parties obtained
@@ -284,6 +317,53 @@ fn structure_aware_modes_are_exercised_and_safe() {
             "{label} never reached agreement"
         );
     }
+}
+
+#[test]
+fn timing_faults_are_absorbed_or_degrade_gracefully() {
+    // Timing gate: pure-latency rows stay within the partial-synchrony
+    // round budget, so every one of them must agree; partitions that heal
+    // within the granted slack must agree; and no timing row — including
+    // the permanent partition and whole-run churn — may ever violate
+    // safety. A one-way partition cannot forge a conflicting vote under
+    // unanimous input, so even `partition-*-forever` agrees; graceful
+    // degradation is exercised by churn that outlives the run.
+    let reports = sweep();
+    let timing: Vec<_> = reports
+        .iter()
+        .filter(|r| {
+            let l = r.case.spec.label();
+            l.contains("delay") || l.contains("partition") || l.contains("churn")
+        })
+        .collect();
+    assert!(
+        timing.len() >= 10,
+        "timing block shrank to {} rows",
+        timing.len()
+    );
+    for r in &timing {
+        let label = r.case.spec.label();
+        assert!(
+            !r.verdict.is_violation(),
+            "timing case broke safety: {} -> {}",
+            r.case.repro(),
+            r.verdict.label()
+        );
+        if label.starts_with("delay") || label.contains("heal") {
+            assert!(
+                matches!(r.verdict, ChaosVerdict::Agreed { .. }),
+                "recoverable timing fault failed to agree: {} -> {}",
+                r.case.repro(),
+                r.verdict.label()
+            );
+        }
+    }
+    assert!(
+        timing
+            .iter()
+            .any(|r| matches!(r.verdict, ChaosVerdict::Degraded { .. })),
+        "no timing case exercises graceful degradation"
+    );
 }
 
 #[test]

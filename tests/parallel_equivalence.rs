@@ -9,7 +9,10 @@
 //! ([`pba_core::protocol::Session::try_committee_ba`] and the VSS coin),
 //! and the adversaries here include rushing, equivocating, flooding, and
 //! adaptive strategies — exactly the observers that would notice a
-//! schedule change.
+//! schedule change. The timing strategies (seeded latency, partitions,
+//! churn) flow in from the same catalogue: link delays are a pure
+//! function of `(seed, link, tick)`, so the delay queue and the
+//! partial-synchrony driver must be thread-count-invariant too.
 //!
 //! [`RoundOutcome`]: pba_core::protocol::RoundOutcome
 //! [`ProtocolError`]: pba_core::protocol::ProtocolError
@@ -142,7 +145,8 @@ fn check_cases(cases: &[ChaosCase]) {
 }
 
 /// The full strategy catalogue × {random placement, leaf-committee
-/// takeover} at n = 48 — the first block of the chaos matrix.
+/// takeover} at n = 48, plus the dedicated timing rows — every charged
+/// n = 48 case of the chaos matrix.
 fn equivalence_cases() -> Vec<ChaosCase> {
     let cases: Vec<ChaosCase> = default_cases(b"parallel-eq")
         .into_iter()
