@@ -23,11 +23,17 @@
 //!   scalar vs. batched per-primitive microbenches and end-to-end
 //!   rounds/sec, bit-identity gated, emitted as `BENCH_5.json` (see
 //!   [`hash_perf`]);
+//! * **the socket deployment harness**
+//!   (`cargo run -p pba-bench --bin node --release -- <sim|run|launch|table>`)
+//!   — real-TCP endpoints diffed against the deterministic in-process
+//!   oracle by transcript digest, and the §E-socket sim-vs-socket byte
+//!   table (see [`socket`]);
 //! * criterion micro/macro benches under `benches/`.
 
 pub mod chaos;
 pub mod hash_perf;
 pub mod perf;
+pub mod socket;
 
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};
 use pba_core::protocol::{run_ba, BaConfig};

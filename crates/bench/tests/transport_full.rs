@@ -1,0 +1,66 @@
+//! Full-tier differential test: real `node` processes over loopback TCP,
+//! diffed against the in-process deterministic oracle by transcript
+//! digest (see DESIGN.md §3c and `tests/transport_differential.rs` for
+//! the fast in-thread tier).
+//!
+//! The default run keeps CI cheap (n=16, two processes). Set
+//! `PBA_SOCKET_FULL=1` to sweep the acceptance matrix — n ∈ {16, 64} ×
+//! {2, 3} processes.
+
+use pba_bench::socket::{json_str_field, json_u64_field, launch_processes, SocketSpec};
+use std::path::Path;
+
+fn node_exe() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_node"))
+}
+
+fn diff_processes(n: usize, k: usize) {
+    let spec = SocketSpec::new(n, k, &format!("full/{n}/{k}"));
+    let summary = launch_processes(&spec, node_exe());
+    assert!(
+        !summary.sim_digest.is_empty(),
+        "oracle produced no transcript"
+    );
+    assert_eq!(summary.process_digests.len(), k);
+    for (e, digest) in summary.process_digests.iter().enumerate() {
+        assert_eq!(
+            digest, &summary.sim_digest,
+            "process {e} diverged from oracle at n={n}, k={k}: {}",
+            summary.lines[e]
+        );
+    }
+    assert!(summary.all_match);
+    // Every process reports the same logical accounting as the oracle
+    // simulation (the metering replicates deterministically), and real
+    // bytes crossed the process boundary.
+    let sim = spec.run_sim();
+    let sim_line = pba_bench::socket::endpoint_json(0, &sim);
+    let logical = json_u64_field(&sim_line, "logical_total_bytes").expect("oracle bytes");
+    for line in &summary.lines {
+        assert_eq!(json_str_field(line, "backend").as_deref(), Some("tcp"));
+        assert_eq!(json_u64_field(line, "logical_total_bytes"), Some(logical));
+        assert!(json_u64_field(line, "socket_bytes_sent").expect("stats") > 0);
+        assert_eq!(
+            json_str_field(line, "completed"),
+            None,
+            "completed is a bare literal, not a string"
+        );
+        assert!(line.contains("\"completed\":true"), "process not completed");
+    }
+}
+
+#[test]
+fn two_processes_match_oracle_n16() {
+    diff_processes(16, 2);
+}
+
+#[test]
+fn full_matrix_when_enabled() {
+    if std::env::var("PBA_SOCKET_FULL").is_err() {
+        eprintln!("PBA_SOCKET_FULL not set; skipping the full process matrix");
+        return;
+    }
+    for (n, k) in [(16, 3), (64, 2), (64, 3)] {
+        diff_processes(n, k);
+    }
+}

@@ -32,12 +32,12 @@
 //! (per-level-parallel) round count by a `#groups` factor. Byte and
 //! message accounting are unaffected.
 
-use crate::vss_coin::toss_coin_vss;
+use crate::vss_coin::toss_coin_vss_driven;
 use pba_aetree::params::TreeParams;
 use pba_aetree::tree::Tree;
 use pba_crypto::prg::Prg;
 use pba_crypto::sha256::{Digest, Sha256};
-use pba_net::runner::Adversary;
+use pba_net::runner::{Adversary, PhaseOutcome, RoundDriver};
 use pba_net::{Network, PartyId};
 use std::collections::BTreeSet;
 
@@ -85,6 +85,30 @@ pub fn establish_interactive(
     adversary: &mut dyn Adversary,
     prg: &mut Prg,
 ) -> Election {
+    match try_establish_interactive(net, params, adversary, prg) {
+        Ok(election) => election,
+        Err(outcome) => panic!(
+            "interactive establishment failed after {} rounds",
+            outcome.rounds
+        ),
+    }
+}
+
+/// Fallible [`establish_interactive`]: a group toss that cannot converge
+/// — a dead transport, a phase budget blown by faults — surfaces as `Err`
+/// with the failing phase's [`PhaseOutcome`] instead of a panic, so the
+/// protocol layer can attribute it (e.g. to a recorded transport error).
+///
+/// # Errors
+///
+/// The [`PhaseOutcome`] of the first group toss that left a member
+/// without a phase-king output.
+pub fn try_establish_interactive(
+    net: &mut Network,
+    params: &TreeParams,
+    adversary: &mut dyn Adversary,
+    prg: &mut Prg,
+) -> Result<Election, PhaseOutcome> {
     let corrupt: BTreeSet<PartyId> = adversary.corrupted().clone();
     let mut population: Vec<PartyId> = (0..params.n as u64).map(PartyId).collect();
     let g = group_size(params);
@@ -105,12 +129,15 @@ pub fn establish_interactive(
             let seed = if honest_in_group == 0 {
                 Sha256::digest(b"fully-corrupt-group")
             } else {
-                let seeds = toss_coin_vss(
+                let seeds = toss_coin_vss_driven(
                     net,
                     group,
                     adversary,
                     &mut prg.child("kssv-group", (levels * 1_000_003 + gi) as u64),
-                );
+                    RoundDriver::Lockstep,
+                    0,
+                    1,
+                )?;
                 *seeds.values().next().expect("honest member decided")
             };
             level_acc.update(seed.as_bytes());
@@ -122,11 +149,11 @@ pub fn establish_interactive(
                 tree_seed.extend_from_slice(b"kssv-tree");
                 tree_seed.extend_from_slice(master_seed.as_bytes());
                 let tree = Tree::build(params, &tree_seed);
-                return Election {
+                return Ok(Election {
                     master_seed,
                     tree,
                     levels,
-                };
+                });
             }
 
             // Elect half the group as representatives, by the group seed.

@@ -38,7 +38,7 @@ use pba_net::corruption::CorruptionPlan;
 use pba_net::faults::StrategySpec;
 use pba_net::runner::{run_phase_driven, AdvSender, Adversary, RoundDriver};
 use pba_net::wire::{self, step, tag};
-use pba_net::{Envelope, Machine, Network, PartyId, Report, TagBreakdown, WireMsg};
+use pba_net::{Envelope, Machine, Network, PartyId, Report, TagBreakdown, Transport, WireMsg};
 use pba_srds::traits::Srds;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -206,6 +206,16 @@ pub enum ProtocolError {
         /// Total honest parties.
         honest: usize,
     },
+    /// The delivery backend failed (socket closed, exchange watchdog,
+    /// replica divergence) during a phase. Only possible when a
+    /// [`pba_net::transport::Transport`] is attached to the session's
+    /// network.
+    Transport {
+        /// The phase running when the transport failed.
+        phase: ProtocolPhase,
+        /// The recorded transport failure.
+        error: pba_net::TransportError,
+    },
 }
 
 impl ProtocolError {
@@ -216,6 +226,7 @@ impl ProtocolError {
             ProtocolError::Timeout { phase, .. } => *phase,
             ProtocolError::Disagreement { phase, .. } => *phase,
             ProtocolError::Stalled { phase, .. } => *phase,
+            ProtocolError::Transport { phase, .. } => *phase,
         }
     }
 }
@@ -241,6 +252,9 @@ impl fmt::Display for ProtocolError {
                     f,
                     "{phase} stalled: only {delivered} of {honest} honest parties obtained output"
                 )
+            }
+            ProtocolError::Transport { phase, error } => {
+                write!(f, "{phase} aborted by transport failure: {error}")
             }
         }
     }
@@ -513,11 +527,39 @@ where
     /// [`ProtocolError::CorruptionBound`] instead of panicking when the
     /// corruption plan reaches `n/3`.
     pub fn try_establish(scheme: &'a S, config: &BaConfig) -> Result<Self, ProtocolError> {
+        Self::try_establish_over(scheme, config, None)
+    }
+
+    /// [`Session::try_establish`] over an explicit delivery backend: when
+    /// `transport` is given, it is attached to the session's network
+    /// before any traffic flows, so even interactive (KSSV) establishment
+    /// crosses the transport — and the delivery transcript is recorded
+    /// from the very first exchange, making the whole run comparable
+    /// against an in-process oracle ([`pba_net::transport`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::CorruptionBound`] as in [`Session::try_establish`];
+    /// [`ProtocolError::Transport`] if the backend fails during interactive
+    /// establishment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config also carries timing-fault chaos — a transport
+    /// and a [`pba_net::TimingModel`] are mutually exclusive.
+    pub fn try_establish_over(
+        scheme: &'a S,
+        config: &BaConfig,
+        transport: Option<Box<dyn Transport>>,
+    ) -> Result<Self, ProtocolError> {
         let params = TreeParams::scaled(config.n, config.z);
         let n = config.n;
         let total_slots = params.total_slots();
         let prg = Prg::from_seed_label(&config.seed, "pi-ba");
         let mut net = Network::new(n);
+        if let Some(transport) = transport {
+            net.attach_transport(transport);
+        }
 
         // Setup: SRDS public parameters and per-virtual-identity keys.
         let pp = scheme.setup(total_slots, &mut prg.child("setup", 0));
@@ -577,13 +619,29 @@ where
                 let mut adversary = SilentCommittee {
                     corrupted: pre_corrupt.clone(),
                 };
-                crate::kssv::establish_interactive(
+                match crate::kssv::try_establish_interactive(
                     &mut net,
                     &params,
                     &mut adversary,
                     &mut prg.child("kssv-establish", 0),
-                )
-                .tree
+                ) {
+                    Ok(election) => election.tree,
+                    Err(outcome) => {
+                        // A failed group toss: a dead transport if one is
+                        // attached and recorded an error, a round-budget
+                        // timeout otherwise.
+                        if let Some(error) = net.transport_error() {
+                            return Err(ProtocolError::Transport {
+                                phase: ProtocolPhase::Establishment,
+                                error: error.clone(),
+                            });
+                        }
+                        return Err(ProtocolError::Timeout {
+                            phase: ProtocolPhase::Establishment,
+                            rounds: outcome.rounds,
+                        });
+                    }
+                }
             }
         };
         let corrupt = match adaptive_budget {
@@ -738,6 +796,18 @@ where
             .map_or(0, |spec| spec.round_slack(ticks))
     }
 
+    /// The session's recorded transport failure, attributed to `phase` —
+    /// checked before mapping an incomplete phase to a generic timeout,
+    /// so socket deaths report as what they are.
+    fn transport_failure(&self, phase: ProtocolPhase) -> Option<ProtocolError> {
+        self.net
+            .transport_error()
+            .map(|error| ProtocolError::Transport {
+                phase,
+                error: error.clone(),
+            })
+    }
+
     fn committee_adversary(&self, committee: &[PartyId]) -> Box<dyn Adversary> {
         if let Some(spec) = &self.config.chaos {
             return spec.build(
@@ -806,6 +876,9 @@ where
             )
         };
         if !outcome.completed {
+            if let Some(e) = self.transport_failure(ProtocolPhase::CommitteeBa) {
+                return Err(e);
+            }
             return Err(ProtocolError::Timeout {
                 phase: ProtocolPhase::CommitteeBa,
                 rounds: outcome.rounds,
@@ -856,10 +929,13 @@ where
         ) {
             Ok(seeds) => seeds,
             Err(outcome) => {
+                if let Some(e) = self.transport_failure(ProtocolPhase::CommitteeCoin) {
+                    return Err(e);
+                }
                 return Err(ProtocolError::Timeout {
                     phase: ProtocolPhase::CommitteeCoin,
                     rounds: outcome.rounds,
-                })
+                });
             }
         };
         let values: BTreeSet<Digest> = seeds.values().copied().collect();
@@ -1326,6 +1402,97 @@ where
             }
         }
     };
+    run_established(&mut session, inputs)
+}
+
+/// One backend's view of a full `π_ba` run over a [`Transport`]: the
+/// protocol outcome plus the evidence the differential oracle compares —
+/// the chained per-exchange delivery transcript and the backend's socket
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct TransportRun {
+    /// Protocol-level outcome (success or structured failure).
+    pub outcome: RunOutcome,
+    /// Chained delivery-transcript digests, one per `take_staged` batch.
+    /// Entry `i` commits the entire delivery history through batch `i`,
+    /// so equality of the final entries proves byte-identical delivery.
+    pub transcript: Vec<Digest>,
+    /// Socket-layer counters (zero for the in-process backend).
+    pub stats: pba_net::SocketStats,
+    /// The backend's [`Transport::kind`] label.
+    pub kind: &'static str,
+}
+
+impl TransportRun {
+    /// The final transcript digest — the single value two backends must
+    /// agree on for their runs to be byte-identical.
+    pub fn final_digest(&self) -> Option<Digest> {
+        self.transcript.last().copied()
+    }
+}
+
+/// Runs `π_ba` end-to-end over an explicit delivery backend and returns
+/// the outcome together with the delivery transcript — the entry point
+/// for differential sim-vs-socket testing. Pass
+/// [`pba_net::LocalTransport`] to produce the in-process oracle run and a
+/// [`pba_net::TcpTransport`] for a socket-backed replica; identical
+/// `(seed, config, inputs)` must yield identical transcripts.
+///
+/// # Panics
+///
+/// Panics on caller errors (`inputs.len() != config.n`) or if the config
+/// also carries timing-fault chaos (mutually exclusive with a transport).
+pub fn try_run_ba_over<S>(
+    scheme: &S,
+    config: &BaConfig,
+    inputs: &[u8],
+    transport: Box<dyn Transport>,
+) -> TransportRun
+where
+    S: Srds,
+    S::Signature: Encode + Decode,
+{
+    assert_eq!(inputs.len(), config.n, "one input per party");
+    let mut session = match Session::try_establish_over(scheme, config, Some(transport)) {
+        Ok(session) => session,
+        Err(reason) => {
+            return TransportRun {
+                outcome: RunOutcome::Failed {
+                    phase: reason.phase(),
+                    reason,
+                },
+                transcript: Vec::new(),
+                stats: pba_net::SocketStats::default(),
+                kind: "failed-establishment",
+            }
+        }
+    };
+    let outcome = run_established(&mut session, inputs);
+    let transcript = session
+        .net
+        .transcript()
+        .map(|t| t.to_vec())
+        .unwrap_or_default();
+    let (kind, stats) = match session.net.transport() {
+        Some(t) => (t.kind(), t.stats()),
+        None => ("none", pba_net::SocketStats::default()),
+    };
+    TransportRun {
+        outcome,
+        transcript,
+        stats,
+        kind,
+    }
+}
+
+/// Shared post-establishment body of [`try_run_ba`] /
+/// [`try_run_ba_over`]: one certified round plus the
+/// agreement/validity verdicts.
+fn run_established<S>(session: &mut Session<'_, S>, inputs: &[u8]) -> RunOutcome
+where
+    S: Srds,
+    S::Signature: Encode + Decode,
+{
     // Certification/coin fan-in rides the robust redundant paths: the
     // supreme committee's inputs arrive through the same byzantine-robust
     // routing as the certificates.

@@ -651,9 +651,7 @@ impl TimingModel {
     /// True when the partition drops `from -> to` traffic at `tick`.
     pub fn blocked(&self, from: PartyId, to: PartyId, tick: u64) -> bool {
         match self.partition {
-            Some((split, heal)) => {
-                from.0 >= split && to.0 < split && heal.is_none_or(|h| tick < h)
-            }
+            Some((split, heal)) => from.0 >= split && to.0 < split && heal.is_none_or(|h| tick < h),
             None => false,
         }
     }

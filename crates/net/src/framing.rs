@@ -1,0 +1,382 @@
+//! Length-delimited framing for the socket transport.
+//!
+//! A frame on the wire is
+//!
+//! ```text
+//! MAGIC (1 byte, 0xA7) ‖ LEB128 varint body_len ‖ body
+//! body = kind (1 byte) ‖ kind-specific payload (LEB128 codec)
+//! ```
+//!
+//! reusing the repo's canonical LEB128 codec ([`pba_crypto::codec`]) for
+//! the length prefix and every payload field — the socket path adds no
+//! second serialization dialect. The magic byte buys cheap *resync*: a
+//! [`FrameReader`] that hits garbage (a non-magic byte where a frame must
+//! start, a malformed body, or an oversized length) skips forward to the
+//! next magic byte and keeps going, counting the event, instead of
+//! wedging the stream forever.
+//!
+//! [`FrameReader`] is a push/pop buffer designed for torn reads: feed it
+//! whatever byte chunks the socket hands you ([`FrameReader::push`]) and
+//! pop complete frames ([`FrameReader::pop`]); a frame split at *any*
+//! byte boundary decodes identically once the rest arrives (property-
+//! tested in `tests/framing.rs`).
+
+use crate::discovery::Hello;
+use crate::envelope::{Envelope, PartyId};
+use crate::wire::MAX_WIRE_BYTES;
+use pba_crypto::codec::{
+    decode_from_slice, read_varint, write_varint, CodecError, Decode, Encode, Reader,
+};
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xa7;
+
+/// Upper bound on a frame body. An envelope frame carries one typed wire
+/// payload (capped at [`MAX_WIRE_BYTES`] by `wire::decode_msg`) plus a
+/// few varints of addressing; the slack covers that overhead.
+pub const MAX_FRAME_BYTES: usize = MAX_WIRE_BYTES + 64;
+
+/// Frame kind bytes (first byte of the body).
+mod kind {
+    pub const HELLO: u8 = 1;
+    pub const ENVELOPE: u8 = 2;
+    pub const ROUND: u8 = 3;
+    pub const BYE: u8 = 4;
+}
+
+/// One transport frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake; first frame in each direction.
+    Hello(Hello),
+    /// One protocol envelope, tagged with its index into the sender's
+    /// staged batch for the current exchange (see
+    /// [`crate::transport`]: receivers substitute authoritative bytes
+    /// at exactly this index — no reordering heuristics).
+    Envelope {
+        /// Index into the globally-identical staged list of this round.
+        staged_idx: u64,
+        /// The envelope itself.
+        env: Envelope,
+    },
+    /// Round barrier marker: "my envelopes for exchange `seq` are all
+    /// sent". Monotone per connection.
+    Round {
+        /// Exchange sequence number.
+        seq: u64,
+    },
+    /// Orderly goodbye; the peer is done and will close the stream.
+    Bye,
+}
+
+impl Encode for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Hello(h) => {
+                buf.push(kind::HELLO);
+                h.encode(buf);
+            }
+            Frame::Envelope { staged_idx, env } => {
+                buf.push(kind::ENVELOPE);
+                write_varint(buf, *staged_idx);
+                env.from.encode(buf);
+                env.to.encode(buf);
+                write_varint(buf, env.payload.len() as u64);
+                buf.extend_from_slice(&env.payload);
+            }
+            Frame::Round { seq } => {
+                buf.push(kind::ROUND);
+                write_varint(buf, *seq);
+            }
+            Frame::Bye => buf.push(kind::BYE),
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let k = r.take(1)?[0];
+        match k {
+            kind::HELLO => Ok(Frame::Hello(Hello::decode(r)?)),
+            kind::ENVELOPE => {
+                let staged_idx = read_varint(r)?;
+                let from = PartyId::decode(r)?;
+                let to = PartyId::decode(r)?;
+                let len = read_varint(r)?;
+                if len as usize > MAX_WIRE_BYTES {
+                    return Err(CodecError::LengthOverflow(len));
+                }
+                let payload = r.take(len as usize)?.to_vec();
+                Ok(Frame::Envelope {
+                    staged_idx,
+                    env: Envelope { from, to, payload },
+                })
+            }
+            kind::ROUND => Ok(Frame::Round {
+                seq: read_varint(r)?,
+            }),
+            kind::BYE => Ok(Frame::Bye),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Appends the on-wire encoding of `frame` (magic ‖ len ‖ body) to `buf`.
+pub fn write_frame(buf: &mut Vec<u8>, frame: &Frame) {
+    let mut body = Vec::new();
+    frame.encode(&mut body);
+    debug_assert!(body.len() <= MAX_FRAME_BYTES, "outgoing frame over cap");
+    buf.push(MAGIC);
+    write_varint(buf, body.len() as u64);
+    buf.extend_from_slice(&body);
+}
+
+/// The on-wire encoding of one frame.
+pub fn frame_to_vec(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame);
+    buf
+}
+
+/// A malformed region of the byte stream, reported by
+/// [`FrameReader::pop`]. The reader has already advanced past the
+/// offending prefix, so popping again continues at the next candidate
+/// frame — callers choose whether an error is fatal (the transport treats
+/// every one as a structured peer failure) or survivable (resync tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// A frame header announced a body longer than [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The announced body length.
+        len: u64,
+    },
+    /// The length prefix itself was not a canonical varint.
+    BadLength(CodecError),
+    /// The body failed to decode as a [`Frame`].
+    Malformed(CodecError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame body of {len} bytes exceeds cap {MAX_FRAME_BYTES}")
+            }
+            FrameError::BadLength(e) => write!(f, "bad frame length prefix: {e}"),
+            FrameError::Malformed(e) => write!(f, "malformed frame body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame parser over a torn byte stream.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily.
+    pos: usize,
+    resyncs: u64,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes received from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing, so long sessions don't accumulate the
+        // whole stream.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of times the reader skipped garbage to find a magic byte.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes the reader, returning the unconsumed byte tail — used to
+    /// hand a stream off between readers (e.g. the hello reader seeding
+    /// the connection's long-lived reader) without losing bytes that
+    /// arrived in the same socket read as the last popped frame.
+    pub fn into_buffered(mut self) -> Vec<u8> {
+        self.buf.split_off(self.pos)
+    }
+
+    /// Pops the next complete frame.
+    ///
+    /// Returns `Ok(None)` when the buffer holds only a frame prefix (more
+    /// bytes needed).
+    ///
+    /// # Errors
+    ///
+    /// A [`FrameError`] for each malformed region; the reader skips past
+    /// it, so the same error is never returned twice.
+    pub fn pop(&mut self) -> Result<Option<Frame>, FrameError> {
+        // Seek the next magic byte, counting a resync if we had to
+        // discard anything to find it.
+        let rest = &self.buf[self.pos..];
+        match rest.iter().position(|&b| b == MAGIC) {
+            Some(0) => {}
+            Some(skip) => {
+                self.pos += skip;
+                self.resyncs += 1;
+            }
+            None => {
+                if !rest.is_empty() {
+                    self.resyncs += 1;
+                }
+                self.pos = self.buf.len();
+                return Ok(None);
+            }
+        }
+
+        let rest = &self.buf[self.pos + 1..];
+        let mut r = Reader::new(rest);
+        let len = match read_varint(&mut r) {
+            Ok(len) => len,
+            // A torn varint is indistinguishable from a short read;
+            // wait for more bytes.
+            Err(CodecError::UnexpectedEnd) => return Ok(None),
+            Err(e) => {
+                self.pos += 1;
+                return Err(FrameError::BadLength(e));
+            }
+        };
+        let header = rest.len() - r.remaining();
+        if len as usize > MAX_FRAME_BYTES {
+            self.pos += 1;
+            return Err(FrameError::Oversized { len });
+        }
+        if r.remaining() < len as usize {
+            return Ok(None);
+        }
+        let body = &rest[header..header + len as usize];
+        match decode_from_slice::<Frame>(body) {
+            Ok(frame) => {
+                self.pos += 1 + header + len as usize;
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                self.pos += 1;
+                Err(FrameError::Malformed(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{genesis_digest, Hello, PeerMap};
+
+    fn sample_frames() -> Vec<Frame> {
+        let map = PeerMap::contiguous(8, vec!["a:1".into(), "b:2".into()], 0);
+        let genesis = genesis_digest(b"s", "charged", "snark", &map);
+        vec![
+            Frame::Hello(Hello::for_map(&map, genesis, 0)),
+            Frame::Envelope {
+                staged_idx: 3,
+                env: Envelope::new(PartyId(1), PartyId(5), vec![9u8; 40]),
+            },
+            Frame::Envelope {
+                staged_idx: 0,
+                env: Envelope::new(PartyId(0), PartyId(0), Vec::new()),
+            },
+            Frame::Round { seq: 17 },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_reader() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f);
+        }
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        for f in &frames {
+            assert_eq!(reader.pop().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(reader.pop().unwrap(), None);
+        assert_eq!(reader.resyncs(), 0);
+    }
+
+    #[test]
+    fn torn_reads_single_byte_chunks() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            reader.push(&[b]);
+            while let Some(f) = reader.pop().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_then_resyncs() {
+        let mut stream = vec![MAGIC];
+        write_varint(&mut stream, (MAX_FRAME_BYTES + 1) as u64);
+        let good = Frame::Round { seq: 1 };
+        write_frame(&mut stream, &good);
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        assert_eq!(
+            reader.pop(),
+            Err(FrameError::Oversized {
+                len: (MAX_FRAME_BYTES + 1) as u64
+            })
+        );
+        // The reader skipped the bad header and finds the next frame.
+        assert_eq!(reader.pop().unwrap(), Some(good));
+    }
+
+    #[test]
+    fn garbage_prefix_resyncs_once() {
+        let good = Frame::Bye;
+        let mut stream = vec![0x00, 0x01, 0x02];
+        write_frame(&mut stream, &good);
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        assert_eq!(reader.pop().unwrap(), Some(good));
+        assert_eq!(reader.resyncs(), 1);
+    }
+
+    #[test]
+    fn oversized_envelope_payload_rejected_in_body() {
+        // A body whose *envelope payload length* exceeds the wire cap is
+        // malformed even if the frame length itself is within the frame
+        // cap (the frame cap has slack above the wire cap).
+        let mut body = vec![super::kind::ENVELOPE];
+        write_varint(&mut body, 0); // staged_idx
+        PartyId(0).encode(&mut body);
+        PartyId(1).encode(&mut body);
+        write_varint(&mut body, (MAX_WIRE_BYTES + 1) as u64);
+        let mut stream = vec![MAGIC];
+        write_varint(&mut stream, body.len() as u64);
+        stream.extend_from_slice(&body);
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        assert!(matches!(reader.pop(), Err(FrameError::Malformed(_))));
+    }
+}

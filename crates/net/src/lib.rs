@@ -27,7 +27,15 @@
 //!   [`runner::RoundDriver`];
 //! * [`wire`] — the typed wire protocol: stable tag registry, `{tag, step}`
 //!   headers, the hardened [`wire::decode_msg`] entry point, and the
-//!   schema-driven [`wire::mutate_field`] used by structure-aware faults.
+//!   schema-driven [`wire::mutate_field`] used by structure-aware faults;
+//! * [`transport`] — the delivery backend seam: the [`transport::Transport`]
+//!   trait behind [`network::Network::take_staged`], with the in-process
+//!   [`transport::LocalTransport`] oracle and the real-socket
+//!   [`transport::TcpTransport`];
+//! * [`framing`] — length-delimited socket framing (magic ‖ LEB128 len ‖
+//!   body) with torn-read buffering and garbage resync;
+//! * [`discovery`] — the party-to-peer [`discovery::PeerMap`] and the
+//!   genesis-bound [`discovery::Hello`] handshake.
 //!
 //! # Examples
 //!
@@ -43,13 +51,17 @@
 //! ```
 
 pub mod corruption;
+pub mod discovery;
 pub mod envelope;
 pub mod faults;
+pub mod framing;
 pub mod metrics;
 pub mod network;
 pub mod runner;
+pub mod transport;
 pub mod wire;
 
+pub use discovery::{genesis_digest, Hello, HelloField, HelloMismatch, PeerMap};
 pub use envelope::{Envelope, PartyId};
 pub use faults::{LatencyDist, TimingModel};
 pub use metrics::{MetricsTable, Report, TagBreakdown};
@@ -57,5 +69,8 @@ pub use network::{Ctx, Network, RoundEffects, TimingStats};
 pub use runner::{
     run_phase, run_phase_driven, run_phase_threaded, AdvSender, Adversary, Machine, PhaseOutcome,
     RoundDriver, SilentAdversary,
+};
+pub use transport::{
+    LocalTransport, SocketStats, TcpTransport, Transport, TransportError, TransportOpts,
 };
 pub use wire::WireMsg;

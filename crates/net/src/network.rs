@@ -34,6 +34,7 @@
 use crate::envelope::{Envelope, PartyId};
 use crate::faults::TimingModel;
 use crate::metrics::{MetricsTable, Report};
+use crate::transport::{Transport, TransportError};
 use crate::wire::{self, WireMsg};
 use pba_crypto::codec::{decode_from_slice, Decode, Encode};
 use pba_crypto::{Digest, Sha256};
@@ -146,6 +147,18 @@ pub struct Network {
     /// how many synthetic rounds (establishment, fan-in) preceded it.
     timing_base: Option<u64>,
     stats: TimingStats,
+    /// The delivery backend, if one is attached: every
+    /// [`Network::take_staged`] routes the staged batch through
+    /// [`Transport::exchange`] (see [`Network::attach_transport`]).
+    transport: Option<Box<dyn Transport>>,
+    /// The first transport failure, if any. Once set, delivery stops —
+    /// every later `take_staged` returns an empty batch so the runner can
+    /// wind the phase down and report a structured error instead of
+    /// stepping machines against a half-exchanged round.
+    transport_error: Option<TransportError>,
+    /// Exchanges performed so far; becomes the sequence number stamped on
+    /// the round markers of the next exchange.
+    exchange_seq: u64,
 }
 
 impl Network {
@@ -162,6 +175,9 @@ impl Network {
             timing: None,
             timing_base: None,
             stats: TimingStats::default(),
+            transport: None,
+            transport_error: None,
+            exchange_seq: 0,
         }
     }
 
@@ -261,7 +277,24 @@ impl Network {
     /// function of `(timing key, link, tick)`, so this sequence is
     /// identical under the sequential and threaded round engines.
     pub fn take_staged(&mut self) -> Vec<Envelope> {
-        let batch = if self.timing.is_some() {
+        let batch = if let Some(transport) = &mut self.transport {
+            let staged = std::mem::take(&mut self.staged);
+            if self.transport_error.is_some() {
+                // Already failed: deliver nothing and let the runner
+                // observe the recorded error.
+                Vec::new()
+            } else {
+                let seq = self.exchange_seq;
+                self.exchange_seq += 1;
+                match transport.exchange(seq, staged) {
+                    Ok(batch) => batch,
+                    Err(e) => {
+                        self.transport_error = Some(e);
+                        Vec::new()
+                    }
+                }
+            }
+        } else if self.timing.is_some() {
             let model = self.timing.take().expect("timing model present");
             let base = *self.timing_base.get_or_insert(self.now);
             let tick = self.now - base;
@@ -325,9 +358,54 @@ impl Network {
     /// Installs timing faults: subsequent [`Network::take_staged`] calls
     /// route staged traffic through the delay queue. The model's tick zero
     /// is the first `take_staged` after this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transport is attached — timing faults reorder delivery
+    /// locally, which a socket backend cannot replicate remotely (see
+    /// [`crate::transport`]).
     pub fn set_timing(&mut self, model: TimingModel) {
+        assert!(
+            self.transport.is_none(),
+            "timing faults and a transport are mutually exclusive"
+        );
         self.timing = Some(model);
         self.timing_base = None;
+    }
+
+    /// Attaches a delivery backend: every subsequent
+    /// [`Network::take_staged`] routes the staged batch through
+    /// [`Transport::exchange`]. Recording of the delivery transcript is
+    /// enabled as a side effect, so the oracle and every socket endpoint
+    /// chain their digests from the same point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a timing model is installed (see [`Network::set_timing`]).
+    pub fn attach_transport(&mut self, transport: Box<dyn Transport>) {
+        assert!(
+            self.timing.is_none(),
+            "timing faults and a transport are mutually exclusive"
+        );
+        self.enable_transcript();
+        self.transport = Some(transport);
+    }
+
+    /// Removes and returns the attached transport (its sockets close when
+    /// the returned value is dropped).
+    pub fn detach_transport(&mut self) -> Option<Box<dyn Transport>> {
+        self.transport.take()
+    }
+
+    /// The attached transport, if any.
+    pub fn transport(&self) -> Option<&dyn Transport> {
+        self.transport.as_deref()
+    }
+
+    /// The first transport failure, if any. Set once; all delivery after
+    /// it is empty.
+    pub fn transport_error(&self) -> Option<&TransportError> {
+        self.transport_error.as_ref()
     }
 
     /// The installed timing model, if any.
@@ -886,6 +964,82 @@ mod tests {
                 + stats.expired_offline
                 + net.in_flight_len() as u64
         );
+    }
+
+    /// A transport that fails every exchange — exercises the network's
+    /// error latch.
+    #[derive(Debug)]
+    struct FailingTransport;
+
+    impl crate::transport::Transport for FailingTransport {
+        fn exchange(
+            &mut self,
+            seq: u64,
+            _staged: Vec<Envelope>,
+        ) -> Result<Vec<Envelope>, crate::transport::TransportError> {
+            Err(crate::transport::TransportError::PeerClosed { peer: 1, seq })
+        }
+        fn kind(&self) -> &'static str {
+            "failing"
+        }
+    }
+
+    #[test]
+    fn local_transport_matches_bare_network_transcript() {
+        let run = |attach: bool| {
+            let mut net = Network::new(2);
+            if attach {
+                net.attach_transport(Box::new(crate::transport::LocalTransport::new()));
+            } else {
+                net.enable_transcript();
+            }
+            let mut batches = Vec::new();
+            for round in 0..3u8 {
+                net.stage(Envelope::new(PartyId(0), PartyId(1), vec![round]));
+                batches.push(net.take_staged());
+                net.bump_round();
+            }
+            (batches, net.transcript().unwrap().to_vec())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn transport_failure_latches_and_empties_delivery() {
+        let mut net = Network::new(2);
+        net.attach_transport(Box::new(FailingTransport));
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![1]));
+        assert!(net.transport_error().is_none());
+        assert!(net.take_staged().is_empty());
+        assert_eq!(
+            net.transport_error(),
+            Some(&crate::transport::TransportError::PeerClosed { peer: 1, seq: 0 })
+        );
+        // Later rounds stay empty and keep the *first* error.
+        net.stage(Envelope::new(PartyId(0), PartyId(1), vec![2]));
+        assert!(net.take_staged().is_empty());
+        assert_eq!(
+            net.transport_error(),
+            Some(&crate::transport::TransportError::PeerClosed { peer: 1, seq: 0 })
+        );
+        assert_eq!(net.transport().unwrap().kind(), "failing");
+        assert!(net.detach_transport().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn transport_after_timing_panics() {
+        let mut net = Network::new(2);
+        net.set_timing(fixed_delay_model(0));
+        net.attach_transport(Box::new(crate::transport::LocalTransport::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn timing_after_transport_panics() {
+        let mut net = Network::new(2);
+        net.attach_transport(Box::new(crate::transport::LocalTransport::new()));
+        net.set_timing(fixed_delay_model(0));
     }
 
     #[test]

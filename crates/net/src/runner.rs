@@ -314,6 +314,17 @@ pub fn run_phase_driven(
         }
         rounds += 1;
 
+        // A transport failure means this round's delivery is incomplete:
+        // stepping machines against it would diverge every replica from
+        // the oracle. Abort the phase; the protocol layer reads the
+        // recorded error off the network and reports it structurally.
+        if net.transport_error().is_some() {
+            return PhaseOutcome {
+                rounds,
+                completed: false,
+            };
+        }
+
         // Partition deliveries per receiver.
         let mut inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
         for env in delivered {

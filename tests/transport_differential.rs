@@ -1,0 +1,323 @@
+//! Differential sim-vs-socket suite (fast tier; see DESIGN.md §3c).
+//!
+//! Every socket endpoint runs the full deterministic simulation and
+//! substitutes authoritative socket bytes at each exchange, so the
+//! in-process run over [`pba_net::LocalTransport`] is a golden oracle:
+//! a correct deployment reproduces the oracle's chained delivery
+//! transcript digest **exactly**, along with the full `BaOutcome` byte
+//! accounting. This tier runs `k`-endpoint fleets as loopback-TCP
+//! threads; `crates/bench/tests/transport_full.rs` repeats the diff with
+//! real `node` processes.
+//!
+//! The negative half checks the never-hang/never-panic contract: peer
+//! drop mid-round, connect timeout, wrong-genesis hello, and tick-base
+//! skew each surface as a structured [`pba_net::TransportError`] (or a
+//! [`ProtocolError::Transport`] once the protocol is running), bounded
+//! by the transport watchdog timeouts.
+
+use pba_bench::socket::{run_loopback_fleet, SocketSpec};
+use pba_core::protocol::{Establishment, ProtocolError, RunOutcome, TransportRun};
+use pba_net::{HelloField, PeerMap, TcpTransport, Transport, TransportError, TransportOpts};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Asserts a fleet run is byte-identical to the oracle: same transcript
+/// digests, same outcome, same per-tag byte attribution.
+fn assert_matches_oracle(spec: &SocketSpec, sim: &TransportRun, fleet: &[TransportRun]) {
+    let sim_out = match &sim.outcome {
+        RunOutcome::Completed(out) => out,
+        RunOutcome::Failed { phase, reason } => {
+            panic!("oracle failed (n={}) in {phase}: {reason}", spec.n)
+        }
+    };
+    assert!(sim.final_digest().is_some(), "oracle records a transcript");
+    assert!(sim_out.agreement && sim_out.validity && sim_out.tags_conserved);
+
+    for (e, run) in fleet.iter().enumerate() {
+        assert_eq!(run.kind, "tcp");
+        // Digest equality is per-entry, so a mismatch would name the
+        // first diverging exchange — compare the full chains.
+        assert_eq!(
+            run.transcript, sim.transcript,
+            "endpoint {e} transcript diverged from oracle (n={}, {:?})",
+            spec.n, spec.establishment
+        );
+        let out = match &run.outcome {
+            RunOutcome::Completed(out) => out,
+            RunOutcome::Failed { phase, reason } => {
+                panic!("endpoint {e} failed in {phase}: {reason}")
+            }
+        };
+        assert_eq!(out.output, sim_out.output);
+        assert_eq!(out.outputs, sim_out.outputs);
+        assert_eq!(out.report, sim_out.report, "metered report diverged");
+        assert_eq!(out.breakdown, sim_out.breakdown, "per-tag bytes diverged");
+        assert!(out.tags_conserved, "endpoint {e} tag conservation");
+        if spec.k > 1 {
+            assert!(run.stats.bytes_sent > 0, "endpoint {e} sent real bytes");
+        }
+    }
+}
+
+fn diff_cell(n: usize, k: usize, establishment: Establishment) {
+    let mut spec = SocketSpec::new(n, k, &format!("diff/{n}/{k}/{}", establishment.label()));
+    spec.establishment = establishment;
+    let sim = spec.run_sim();
+    let fleet = run_loopback_fleet(&spec);
+    assert_eq!(fleet.len(), k);
+    assert_matches_oracle(&spec, &sim, &fleet);
+}
+
+#[test]
+fn diff_n16_charged_two_endpoints() {
+    diff_cell(16, 2, Establishment::Charged);
+}
+
+#[test]
+fn diff_n16_interactive_two_endpoints() {
+    diff_cell(16, 2, Establishment::Interactive);
+}
+
+#[test]
+fn diff_n64_charged_three_endpoints() {
+    diff_cell(64, 3, Establishment::Charged);
+}
+
+#[test]
+fn diff_n64_interactive_two_endpoints() {
+    diff_cell(64, 2, Establishment::Interactive);
+}
+
+/// A single-endpoint "deployment" degenerates to the oracle: no sockets,
+/// same digest — the base case of the substitution argument.
+#[test]
+fn single_endpoint_fleet_equals_oracle() {
+    let spec = SocketSpec::new(16, 1, "diff/single");
+    let sim = spec.run_sim();
+    let fleet = run_loopback_fleet(&spec);
+    assert_eq!(fleet[0].transcript, sim.transcript);
+    assert_eq!(fleet[0].stats.bytes_sent, 0, "no cross-endpoint traffic");
+}
+
+/// Binds `k` loopback listeners and returns (addrs, listeners) — the
+/// race-free way to assemble a test mesh.
+fn bind_endpoints(k: usize) -> (Vec<String>, Vec<TcpListener>) {
+    let listeners: Vec<TcpListener> = (0..k)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    (addrs, listeners)
+}
+
+fn short_opts() -> TransportOpts {
+    TransportOpts {
+        connect_timeout: Duration::from_millis(2000),
+        hello_timeout: Duration::from_millis(2000),
+        recv_timeout: Duration::from_millis(500),
+    }
+}
+
+/// A peer that completes the handshake and then vanishes mid-round: the
+/// running protocol reports a structured `ProtocolError::Transport`
+/// (peer-closed or watchdog) instead of hanging or panicking.
+#[test]
+fn peer_drop_mid_round_is_structured() {
+    let spec = SocketSpec::new(16, 2, "diff/drop");
+    let (addrs, listeners) = bind_endpoints(2);
+    let mut listeners = listeners.into_iter();
+    let l0 = listeners.next().expect("l0");
+    let l1 = listeners.next().expect("l1");
+
+    let spec1 = spec.clone();
+    let addrs1 = addrs.clone();
+    let quitter = std::thread::spawn(move || {
+        let map = PeerMap::contiguous(spec1.n, addrs1, 1);
+        let genesis = spec1.genesis(&map);
+        // Handshake fully, then drop the transport: a Bye goes out and
+        // the stream closes before the first exchange completes.
+        let transport =
+            TcpTransport::with_listener(map, genesis, spec1.tick_base, short_opts(), l1)
+                .expect("mesh");
+        drop(transport);
+    });
+
+    let map = PeerMap::contiguous(spec.n, addrs, 0);
+    let genesis = spec.genesis(&map);
+    let transport =
+        TcpTransport::with_listener(map, genesis, spec.tick_base, short_opts(), l0).expect("mesh");
+    let run = spec.run_over(Box::new(transport));
+    quitter.join().expect("quitter");
+
+    match &run.outcome {
+        RunOutcome::Failed { reason, .. } => {
+            assert!(
+                matches!(
+                    reason,
+                    ProtocolError::Transport {
+                        error: TransportError::PeerClosed { .. }
+                            | TransportError::RecvTimeout { .. },
+                        ..
+                    }
+                ),
+                "expected structured transport failure, got {reason}"
+            );
+        }
+        RunOutcome::Completed(_) => panic!("run completed over a dead peer"),
+    }
+}
+
+/// A peer that meshes but never participates in exchanges: the watchdog
+/// converts the silence into a bounded `RecvTimeout`.
+#[test]
+fn silent_peer_trips_watchdog() {
+    let spec = SocketSpec::new(16, 2, "diff/silent");
+    let (addrs, listeners) = bind_endpoints(2);
+    let mut listeners = listeners.into_iter();
+    let l0 = listeners.next().expect("l0");
+    let l1 = listeners.next().expect("l1");
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let spec1 = spec.clone();
+    let addrs1 = addrs.clone();
+    let silent = std::thread::spawn(move || {
+        let map = PeerMap::contiguous(spec1.n, addrs1, 1);
+        let genesis = spec1.genesis(&map);
+        let transport =
+            TcpTransport::with_listener(map, genesis, spec1.tick_base, short_opts(), l1)
+                .expect("mesh");
+        // Hold the connection open without ever exchanging until the
+        // driving endpoint has observed the timeout.
+        let _ = done_rx.recv_timeout(Duration::from_secs(30));
+        drop(transport);
+    });
+
+    let map = PeerMap::contiguous(spec.n, addrs, 0);
+    let genesis = spec.genesis(&map);
+    let mut transport =
+        TcpTransport::with_listener(map, genesis, spec.tick_base, short_opts(), l0).expect("mesh");
+    let started = std::time::Instant::now();
+    let staged = Vec::new();
+    let err = transport.exchange(0, staged).expect_err("watchdog fires");
+    assert!(
+        matches!(err, TransportError::RecvTimeout { seq: 0, .. }),
+        "expected RecvTimeout, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "watchdog unbounded"
+    );
+    done_tx.send(()).ok();
+    silent.join().expect("silent peer");
+}
+
+/// Nothing listens on the target: a bounded `ConnectTimeout`, not a hang.
+#[test]
+fn connect_timeout_is_bounded() {
+    // Port 1 is privileged and unassigned: every dial is refused, and
+    // nothing can race to bind it.
+    let dead_addr = "127.0.0.1:1".to_string();
+    let live = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let live_addr = live.local_addr().expect("addr").to_string();
+    let map = PeerMap::contiguous(16, vec![dead_addr.clone(), live_addr], 1);
+    let spec = SocketSpec::new(16, 2, "diff/connect-timeout");
+    let genesis = spec.genesis(&map);
+    let started = std::time::Instant::now();
+    let err = TcpTransport::with_listener(
+        map,
+        genesis,
+        0,
+        TransportOpts {
+            connect_timeout: Duration::from_millis(400),
+            ..short_opts()
+        },
+        live,
+    )
+    .expect_err("nothing listens");
+    assert_eq!(err, TransportError::ConnectTimeout { addr: dead_addr });
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+/// Endpoints configured with different seeds derive different genesis
+/// digests and reject each other at hello time — on *both* sides.
+#[test]
+fn wrong_genesis_hello_rejected_both_sides() {
+    let (addrs, listeners) = bind_endpoints(2);
+    let specs = [
+        SocketSpec::new(16, 2, "diff/genesis-a"),
+        SocketSpec::new(16, 2, "diff/genesis-b"),
+    ];
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(e, listener)| {
+            let spec = specs[e].clone();
+            let addrs = addrs.clone();
+            std::thread::spawn(move || {
+                let map = PeerMap::contiguous(spec.n, addrs, e);
+                let genesis = spec.genesis(&map);
+                TcpTransport::with_listener(map, genesis, spec.tick_base, short_opts(), listener)
+                    .err()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let err = handle.join().expect("endpoint").expect("hello must fail");
+        match err {
+            TransportError::Hello { mismatch, .. } => {
+                assert_eq!(mismatch.field, HelloField::Genesis)
+            }
+            other => panic!("expected genesis mismatch, got {other}"),
+        }
+    }
+}
+
+/// The tick-base handshake (round-numbering agreement for cross-process
+/// partial-synchrony drivers): endpoints whose drivers would number
+/// rounds differently are rejected at hello time instead of drifting
+/// mid-run.
+#[test]
+fn tick_base_skew_rejected_at_hello() {
+    let (addrs, listeners) = bind_endpoints(2);
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(e, listener)| {
+            let addrs = addrs.clone();
+            std::thread::spawn(move || {
+                let spec = SocketSpec::new(16, 2, "diff/tickbase");
+                let map = PeerMap::contiguous(spec.n, addrs, e);
+                let genesis = spec.genesis(&map);
+                // Endpoint 1 believes rounds start at tick 7.
+                let tick_base = if e == 0 { 0 } else { 7 };
+                TcpTransport::with_listener(map, genesis, tick_base, short_opts(), listener).err()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let err = handle.join().expect("endpoint").expect("hello must fail");
+        match err {
+            TransportError::Hello { mismatch, .. } => {
+                assert_eq!(mismatch.field, HelloField::TickBase)
+            }
+            other => panic!("expected tick-base mismatch, got {other}"),
+        }
+    }
+}
+
+/// Agreeing tick bases pass the handshake and leave the transcript
+/// untouched: the tick base feeds round numbering, not delivery bytes.
+#[test]
+fn agreed_tick_base_preserves_transcript() {
+    let mut spec = SocketSpec::new(16, 2, "diff/tickbase-ok");
+    let baseline = spec.run_sim();
+    spec.tick_base = 7;
+    let sim = spec.run_sim();
+    let fleet = run_loopback_fleet(&spec);
+    assert_eq!(sim.transcript, baseline.transcript);
+    for run in &fleet {
+        assert_eq!(run.transcript, baseline.transcript);
+    }
+}
