@@ -30,7 +30,7 @@
 //!     &|_member| Some(b"(y, s)".to_vec()),
 //!     &mut honest_adversary(),
 //! );
-//! assert!(result.per_party.iter().all(|v| v.as_deref() == Some(b"(y, s)".as_slice())));
+//! assert!((0..128).all(|p| result.party_value(p) == Some(b"(y, s)".as_slice())));
 //! ```
 
 use crate::tree::Tree;
@@ -79,12 +79,23 @@ pub fn silent_adversary() -> impl FnMut(DisseminationStep<'_>) -> Option<Vec<u8>
 }
 
 /// Outcome of one dissemination.
+///
+/// Values are `Rc`-shared: most slots and parties receive the same handful
+/// of distinct payloads, so deep-copying one `Vec<u8>` per slot would cost
+/// memory linear in `total_slots × payload` (hundreds of MB at n = 2^20).
 #[derive(Clone, Debug)]
 pub struct DisseminationResult {
     /// Value received at each virtual slot (leaf-committee seat).
-    pub per_slot: Vec<Option<Vec<u8>>>,
+    pub per_slot: Vec<Option<Rc<Vec<u8>>>>,
     /// Majority value per real party across its slots.
-    pub per_party: Vec<Option<Vec<u8>>>,
+    pub per_party: Vec<Option<Rc<Vec<u8>>>>,
+}
+
+impl DisseminationResult {
+    /// The value party `p` received, as a byte slice.
+    pub fn party_value(&self, p: usize) -> Option<&[u8]> {
+        self.per_party[p].as_deref().map(|v| v.as_slice())
+    }
 }
 
 /// Strict-majority vote over byte strings; `None` on no strict majority.
@@ -99,6 +110,36 @@ fn majority(values: &[Rc<Vec<u8>>]) -> Option<Rc<Vec<u8>>> {
     }
     let (count, best) = counts.values().max_by_key(|(c, _)| *c)?;
     if 2 * count > values.len() {
+        Some(Rc::clone(best))
+    } else {
+        None
+    }
+}
+
+/// Adds one copy of `value` to a per-seat tally. The tally holds one entry
+/// per *distinct* payload with a multiplicity, instead of one `Rc` per
+/// copy: a seat receives `committee_size` copies per relaying committee,
+/// which at scale made the per-level inboxes the largest transient
+/// allocation of the whole run.
+fn tally_push(tally: &mut Vec<(Rc<Vec<u8>>, usize)>, value: &Rc<Vec<u8>>) {
+    if let Some(entry) = tally
+        .iter_mut()
+        .find(|(v, _)| Rc::ptr_eq(v, value) || v.as_slice() == value.as_slice())
+    {
+        entry.1 += 1;
+    } else {
+        tally.push((Rc::clone(value), 1));
+    }
+}
+
+/// Strict-majority vote over a tally — same semantics as [`majority`] over
+/// the expanded copy list: a value wins iff its multiplicity exceeds half
+/// the total copy count (at most one value can, so the winner is
+/// independent of tally order).
+fn majority_tally(tally: &[(Rc<Vec<u8>>, usize)]) -> Option<Rc<Vec<u8>>> {
+    let total: usize = tally.iter().map(|(_, c)| *c).sum();
+    let (best, count) = tally.iter().map(|(v, c)| (v, *c)).max_by_key(|&(_, c)| c)?;
+    if 2 * count > total {
         Some(Rc::clone(best))
     } else {
         None
@@ -142,8 +183,10 @@ pub fn disseminate(
     for level in (1..=root_level).rev() {
         let child_level = level - 1;
 
-        // inbox[child node][seat] = copies received this level.
-        let mut inbox: Vec<Vec<Vec<Rc<Vec<u8>>>>> = (0..tree.nodes_at_level(child_level))
+        // inbox[child node][seat] = tally of copies received this level
+        // (distinct payload → multiplicity).
+        #[allow(clippy::type_complexity)]
+        let mut inbox: Vec<Vec<Vec<(Rc<Vec<u8>>, usize)>>> = (0..tree.nodes_at_level(child_level))
             .map(|node| vec![Vec::new(); tree.committee(child_level, node).len()])
             .collect();
 
@@ -188,7 +231,7 @@ pub fn disseminate(
                                 bytes.len(),
                                 relay_tag,
                             );
-                            inbox[child][si].push(Rc::clone(&bytes));
+                            tally_push(&mut inbox[child][si], &bytes);
                         }
                     }
                 }
@@ -197,7 +240,12 @@ pub fn disseminate(
         net.bump_round();
 
         views = (0..tree.nodes_at_level(child_level))
-            .map(|node| inbox[node].iter().map(|copies| majority(copies)).collect())
+            .map(|node| {
+                inbox[node]
+                    .iter()
+                    .map(|copies| majority_tally(copies))
+                    .collect()
+            })
             .collect();
     }
 
@@ -210,7 +258,7 @@ pub fn disseminate(
         }
     }
 
-    let per_party: Vec<Option<Vec<u8>>> = (0..tree.params().n)
+    let per_party: Vec<Option<Rc<Vec<u8>>>> = (0..tree.params().n)
         .map(|p| {
             let slots = tree.party_slots(PartyId::from(p));
             let values: Vec<Rc<Vec<u8>>> = slots
@@ -220,17 +268,12 @@ pub fn disseminate(
             if values.len() * 2 <= slots.len() {
                 return None; // fewer than half the seats delivered anything
             }
-            majority(&values).map(|rc| (*rc).clone())
+            majority(&values)
         })
         .collect();
 
-    let per_slot: Vec<Option<Vec<u8>>> = per_slot_rc
-        .into_iter()
-        .map(|v| v.map(|rc| (*rc).clone()))
-        .collect();
-
     DisseminationResult {
-        per_slot,
+        per_slot: per_slot_rc,
         per_party,
     }
 }
@@ -284,8 +327,12 @@ mod tests {
             &|_| Some(b"value".to_vec()),
             &mut honest_adversary(),
         );
-        for (p, v) in result.per_party.iter().enumerate() {
-            assert_eq!(v.as_deref(), Some(b"value".as_slice()), "party {p}");
+        for p in 0..128 {
+            assert_eq!(
+                result.party_value(p),
+                Some(b"value".as_slice()),
+                "party {p}"
+            );
         }
         assert!(net.report().total_bytes > 0);
     }
@@ -331,7 +378,7 @@ mod tests {
                 continue;
             }
             assert_eq!(
-                result.per_party[p as usize].as_deref(),
+                result.party_value(p as usize),
                 Some(b"true-value".as_slice()),
                 "party {party} on good paths got wrong value"
             );
@@ -356,10 +403,7 @@ mod tests {
             if corrupt.contains(&party) || analysis.isolated().contains(&party) {
                 continue;
             }
-            assert_eq!(
-                result.per_party[p as usize].as_deref(),
-                Some(b"v".as_slice())
-            );
+            assert_eq!(result.party_value(p as usize), Some(b"v".as_slice()));
         }
     }
 
@@ -384,8 +428,8 @@ mod tests {
             if corrupt.contains(&party) || analysis.isolated().contains(&party) {
                 continue;
             }
-            if let Some(v) = &result.per_party[p as usize] {
-                delivered.insert(v.clone());
+            if let Some(v) = result.party_value(p as usize) {
+                delivered.insert(v.to_vec());
             }
         }
         assert_eq!(
@@ -409,6 +453,38 @@ mod tests {
             majority(&[rc(vec![3])]).map(|r| (*r).clone()),
             Some(vec![3])
         );
+    }
+
+    #[test]
+    fn tally_matches_expanded_majority() {
+        // The tallied inbox must agree with the naive copy-list vote on
+        // every mix of strict-majority / tie / minority outcomes.
+        let rc = |v: Vec<u8>| std::rc::Rc::new(v);
+        let cases: Vec<Vec<Rc<Vec<u8>>>> = vec![
+            vec![],
+            vec![rc(vec![1])],
+            vec![rc(vec![1]), rc(vec![1]), rc(vec![2])],
+            vec![rc(vec![1]), rc(vec![2])],
+            vec![
+                rc(vec![1]),
+                rc(vec![2]),
+                rc(vec![2]),
+                rc(vec![2]),
+                rc(vec![3]),
+            ],
+            vec![rc(vec![1]), rc(vec![1]), rc(vec![2]), rc(vec![2])],
+        ];
+        for copies in cases {
+            let mut tally = Vec::new();
+            for c in &copies {
+                tally_push(&mut tally, c);
+            }
+            assert_eq!(
+                majority_tally(&tally).map(|r| (*r).clone()),
+                majority(&copies).map(|r| (*r).clone()),
+                "copies: {copies:?}"
+            );
+        }
     }
 
     #[test]

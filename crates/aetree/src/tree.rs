@@ -43,8 +43,39 @@ pub struct Tree {
     committees: Vec<Vec<Vec<PartyId>>>,
     /// Virtual slot → real party; length `params.total_slots()`.
     slot_party: Vec<PartyId>,
-    /// Real party → its virtual slots (sorted).
-    party_slots: Vec<Vec<u64>>,
+    /// Real party → its virtual slots (sorted), CSR layout: party `p`
+    /// owns `party_slot_values[offsets[p] .. offsets[p+1]]`. One flat
+    /// arena instead of `n` tiny `Vec`s — at n = 2^20 the per-party
+    /// `Vec<Vec<u64>>` layout costs a million allocations plus 24 bytes
+    /// of header each, which dominated the tree's footprint.
+    party_slot_offsets: Vec<u32>,
+    party_slot_values: Vec<u64>,
+}
+
+/// Builds the CSR `(offsets, values)` arena mapping each party to its
+/// sorted slot list, by counting sort over the slot assignment (two
+/// passes, zero per-party allocations). Values come out sorted per party
+/// because slots are visited in increasing order.
+fn party_slots_csr(n: usize, slot_party: &[PartyId]) -> (Vec<u32>, Vec<u64>) {
+    assert!(
+        u32::try_from(slot_party.len()).is_ok(),
+        "slot count exceeds CSR offset width"
+    );
+    let mut offsets = vec![0u32; n + 1];
+    for &p in slot_party {
+        offsets[p.index() + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut values = vec![0u64; slot_party.len()];
+    for (slot, &p) in slot_party.iter().enumerate() {
+        let c = &mut cursor[p.index()];
+        values[*c as usize] = slot as u64;
+        *c += 1;
+    }
+    (offsets, values)
 }
 
 impl Tree {
@@ -80,10 +111,7 @@ impl Tree {
         }
         prg.shuffle(&mut slot_party);
 
-        let mut party_slots = vec![Vec::new(); params.n];
-        for (slot, &p) in slot_party.iter().enumerate() {
-            party_slots[p.index()].push(slot as u64);
-        }
+        let (party_slot_offsets, party_slot_values) = party_slots_csr(params.n, &slot_party);
 
         // Leaf committees = parties of their slots.
         let mut committees: Vec<Vec<Vec<PartyId>>> = Vec::with_capacity(params.height);
@@ -116,7 +144,8 @@ impl Tree {
             params: *params,
             committees,
             slot_party,
-            party_slots,
+            party_slot_offsets,
+            party_slot_values,
         }
     }
 
@@ -175,15 +204,13 @@ impl Tree {
             params.total_slots(),
             "slot count mismatch"
         );
-        let mut party_slots = vec![Vec::new(); params.n];
-        for (slot, &p) in slot_party.iter().enumerate() {
-            party_slots[p.index()].push(slot as u64);
-        }
+        let (party_slot_offsets, party_slot_values) = party_slots_csr(params.n, &slot_party);
         Tree {
             params: *params,
             committees,
             slot_party,
-            party_slots,
+            party_slot_offsets,
+            party_slot_values,
         }
     }
 
@@ -265,7 +292,12 @@ impl Tree {
 
     /// All virtual slots of a real party (its `z` leaf memberships).
     pub fn party_slots(&self, party: PartyId) -> &[u64] {
-        &self.party_slots[party.index()]
+        let i = party.index();
+        let (start, end) = (
+            self.party_slot_offsets[i] as usize,
+            self.party_slot_offsets[i + 1] as usize,
+        );
+        &self.party_slot_values[start..end]
     }
 
     /// The distinct leaves a party belongs to.
@@ -323,6 +355,17 @@ mod tests {
             total += slots.len();
         }
         assert_eq!(total, t.params().total_slots());
+    }
+
+    #[test]
+    fn party_slots_are_sorted() {
+        // The CSR arena must preserve the documented sorted-ascending
+        // order the per-party Vec layout produced.
+        let t = tree(100, 3);
+        for p in 0..100u64 {
+            let slots = t.party_slots(PartyId(p));
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "party {p}");
+        }
     }
 
     #[test]

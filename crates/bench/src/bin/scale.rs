@@ -1,0 +1,44 @@
+//! Million-party scaling sweep — emits `BENCH_8.json` (max/avg bits per
+//! party, wall time, peak RSS, sparse-metrics cell counts, and the
+//! King–Saia `√n` baseline column, per size).
+//!
+//! ```sh
+//! cargo run -p pba-bench --bin scale --release [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! The full sweep runs one honest `π_ba` round at n = 2^10 … 2^20;
+//! `--smoke` restricts it to n ∈ {2^10, 2^16} and arms the peak-RSS
+//! budget assertion (the CI memory regression gate).
+
+use pba_bench::scale::{run_scale, ScaleConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
+    let config = if smoke {
+        ScaleConfig::smoke()
+    } else {
+        ScaleConfig::full()
+    };
+
+    eprintln!(
+        "scale: sizes {:?}, rss budget {:?} MiB",
+        config.sizes, config.rss_budget_mib
+    );
+    let report = run_scale(&config, smoke);
+
+    eprintln!(
+        "scale: polylog fit k={:.2} (R²={:.3}); power fit alpha={:.3} (R²={:.3})",
+        report.polylog_fit.0, report.polylog_fit.1, report.power_fit.0, report.power_fit.1
+    );
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write BENCH_8.json");
+    eprintln!("scale: wrote {out_path}");
+    println!("{json}");
+}

@@ -28,7 +28,8 @@
 use pba_aetree::params::TreeParams;
 use pba_aetree::tree::Tree;
 use pba_core::protocol::{
-    try_run_ba, AdversaryProfile, BaConfig, Establishment, ProtocolError, ProtocolPhase, RunOutcome,
+    try_run_ba, AdversaryProfile, BaConfig, Establishment, KeyPolicy, ProtocolError, ProtocolPhase,
+    RunOutcome,
 };
 use pba_net::corruption::{max_corruptions, CorruptionPlan};
 use pba_net::faults::{GarbleMode, LatencyDist, StrategySpec};
@@ -158,6 +159,8 @@ pub fn run_case(case: &ChaosCase) -> ChaosVerdict {
         establishment: case.establishment,
         chaos: Some(case.spec.clone()),
         threads: 1,
+        key_policy: KeyPolicy::Eager,
+        dense_shadow: false,
     };
     let inputs = vec![1u8; case.n];
     let scheme = SnarkSrds::with_defaults();

@@ -28,11 +28,17 @@
 //!   — real-TCP endpoints diffed against the deterministic in-process
 //!   oracle by transcript digest, and the §E-socket sim-vs-socket byte
 //!   table (see [`socket`]);
+//! * **the million-party scaling sweep**
+//!   (`cargo run -p pba-bench --bin scale --release [-- --smoke]`) —
+//!   full honest `π_ba` rounds up to `n = 2^20` with sparse metrics and
+//!   lazy keygen, bits/party vs. the King–Saia `√n` baseline, wall time,
+//!   and peak RSS, emitted as `BENCH_8.json` (see [`scale`]);
 //! * criterion micro/macro benches under `benches/`.
 
 pub mod chaos;
 pub mod hash_perf;
 pub mod perf;
+pub mod scale;
 pub mod socket;
 
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};

@@ -65,6 +65,130 @@ impl Establishment {
     }
 }
 
+/// How per-virtual-identity signing keys are instantiated.
+///
+/// Key *derivation* is a pure function of the session PRG — party `i`'s
+/// `j`-th key pair always comes from `prg.child("party-keys", i).child("slot", j)`
+/// — so every policy yields bit-identical verification keys, transcripts
+/// and outcomes; the policies differ only in *when* (and for Sampled,
+/// *whether*) the signing half is materialized in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// Generate and hold all `n × (z + 2)` key pairs at establishment.
+    /// Simple, but the MSS signing material dominates memory at large `n`
+    /// (the 2^20 blocker named in ROADMAP "Million-party simulation").
+    Eager,
+    /// Hold no signing keys: re-derive each from the session PRG at the
+    /// moment of signing. Verification keys are still derived once at
+    /// establishment (the keyboard needs all of them). Bit-identical to
+    /// [`KeyPolicy::Eager`] in every observable.
+    Lazy,
+    /// [`KeyPolicy::Lazy`], plus only parties serving on a *viable* leaf
+    /// path (every committee from their leaf to the root keeps its corrupt
+    /// members a strict minority) may materialize signing keys; touching
+    /// any other party's keys is a structured [`KeyError`]. Signatures
+    /// from non-viable leaves can never survive the redundant-path ascent,
+    /// so agreement verdicts are unchanged — but per-party *metering* of
+    /// doomed signers differs from Eager/Lazy, so this policy is for
+    /// capacity sweeps, not for transcript-equivalence tests.
+    Sampled,
+}
+
+/// Structured error for touching signing-key material the session's
+/// [`KeyPolicy`] declined to instantiate (Sampled off-path parties).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyError {
+    /// The party whose keys were requested.
+    pub party: PartyId,
+    /// The per-party key occurrence index requested.
+    pub key_index: usize,
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signing key {} of party {} is not instantiated under the Sampled key policy",
+            self.key_index, self.party
+        )
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// A signing key obtained from [`Session::signing_key`]: borrowed from the
+/// eager store, or freshly derived (owned) under a lazy policy.
+pub enum KeyHandle<'a, S: Srds> {
+    /// Borrowed from the eager key store.
+    Borrowed(&'a S::SigningKey),
+    /// Re-derived on demand from the session PRG.
+    Owned(S::SigningKey),
+}
+
+impl<S: Srds> KeyHandle<'_, S> {
+    /// The signing key.
+    pub fn key(&self) -> &S::SigningKey {
+        match self {
+            KeyHandle::Borrowed(sk) => sk,
+            KeyHandle::Owned(sk) => sk,
+        }
+    }
+}
+
+// Variant names only: `S::SigningKey` is secret material and need not
+// (and must not) be `Debug` itself.
+impl<S: Srds> std::fmt::Debug for KeyHandle<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyHandle::Borrowed(_) => f.write_str("KeyHandle::Borrowed(..)"),
+            KeyHandle::Owned(_) => f.write_str("KeyHandle::Owned(..)"),
+        }
+    }
+}
+
+/// Per-party signing-key material, governed by [`KeyPolicy`].
+enum KeyStore<S: Srds> {
+    /// `keys[party][j]` = the party's `j`-th key pair.
+    Eager(Vec<Vec<(S::VerificationKey, S::SigningKey)>>),
+    /// No stored signing keys; re-derived from the session PRG on demand.
+    /// `instantiable` (the Sampled policy) gates which parties may.
+    Lazy { instantiable: Option<Vec<bool>> },
+}
+
+/// Which parties the Sampled policy lets materialize signing keys: the
+/// members of every leaf committee whose full path to the root keeps
+/// corrupt members a strict minority of each (deduplicated) committee.
+/// Signatures originating at any other leaf lose every redundant-path
+/// vote on the way up ([`pba_aetree::robust`]), so withholding those
+/// parties' keys cannot change what reaches the root.
+fn sampled_mask(tree: &Tree, corrupt: &BTreeSet<PartyId>) -> Vec<bool> {
+    let params = tree.params();
+    let mut mask = vec![false; params.n];
+    for leaf in 0..params.leaf_count {
+        let mut viable = true;
+        let (mut level, mut node) = (0usize, leaf);
+        loop {
+            let committee = dedup_committee(tree.committee(level, node));
+            let bad = committee.iter().filter(|p| corrupt.contains(p)).count();
+            if 2 * bad >= committee.len() {
+                viable = false;
+                break;
+            }
+            if level + 1 >= params.height {
+                break;
+            }
+            node /= params.branching;
+            level += 1;
+        }
+        if viable {
+            for &member in tree.committee(0, leaf) {
+                mask[member.index()] = true;
+            }
+        }
+    }
+    mask
+}
+
 /// How corrupted parties behave during the protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdversaryProfile {
@@ -101,6 +225,13 @@ pub struct BaConfig {
     /// see [`pba_net::run_phase_threaded`] — so this is purely a
     /// wall-clock knob.
     pub threads: usize,
+    /// When signing-key material is instantiated (see [`KeyPolicy`]).
+    pub key_policy: KeyPolicy,
+    /// Attach the dense metrics reference as a differential shadow behind
+    /// the sparse table ([`pba_net::Network::enable_metrics_shadow`]).
+    /// Test-only knob: doubles metering cost and restores the dense
+    /// table's O(n) memory.
+    pub dense_shadow: bool,
 }
 
 impl BaConfig {
@@ -115,6 +246,8 @@ impl BaConfig {
             establishment: Establishment::Charged,
             chaos: None,
             threads: 1,
+            key_policy: KeyPolicy::Eager,
+            dense_shadow: false,
         }
     }
 
@@ -129,6 +262,8 @@ impl BaConfig {
             establishment: Establishment::Charged,
             chaos: None,
             threads: 1,
+            key_policy: KeyPolicy::Eager,
+            dense_shadow: false,
         }
     }
 
@@ -136,6 +271,19 @@ impl BaConfig {
     /// (clamped to at least one worker).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the configuration with the given key policy.
+    pub fn with_key_policy(mut self, policy: KeyPolicy) -> Self {
+        self.key_policy = policy;
+        self
+    }
+
+    /// Returns the configuration with the dense metrics shadow attached
+    /// (differential testing of the sparse table).
+    pub fn with_dense_shadow(mut self) -> Self {
+        self.dense_shadow = true;
         self
     }
 }
@@ -489,7 +637,7 @@ pub struct Session<'a, S: Srds> {
     pub config: BaConfig,
     params: TreeParams,
     pp: S::PublicParams,
-    party_keys: Vec<Vec<(S::VerificationKey, S::SigningKey)>>,
+    keys: KeyStore<S>,
     /// slot → (party index, key occurrence index)
     slot_sk: Vec<(usize, usize)>,
     keyboard: S::KeyBoard,
@@ -557,24 +705,38 @@ where
         let total_slots = params.total_slots();
         let prg = Prg::from_seed_label(&config.seed, "pi-ba");
         let mut net = Network::new(n);
+        if config.dense_shadow {
+            net.enable_metrics_shadow();
+        }
         if let Some(transport) = transport {
             net.attach_transport(transport);
         }
 
         // Setup: SRDS public parameters and per-virtual-identity keys.
+        // Under a lazy policy nothing is generated here: verification keys
+        // are derived per slot in the idmap loop below (the same pure PRG
+        // children, so bit-identical to the eager loop), and signing keys
+        // are re-derived at the moment of signing.
         let pp = scheme.setup(total_slots, &mut prg.child("setup", 0));
         let keys_per_party = config.z + 2;
-        let party_keys: Vec<Vec<(S::VerificationKey, S::SigningKey)>> = (0..n)
-            .map(|i| {
-                let kprg = prg.child("party-keys", i as u64);
-                (0..keys_per_party)
-                    .map(|j| {
-                        let mut slot_prg = kprg.child("slot", j as u64);
-                        scheme.keygen(&pp, &mut slot_prg)
-                    })
-                    .collect()
-            })
-            .collect();
+        #[allow(clippy::type_complexity)]
+        let eager_keys: Option<Vec<Vec<(S::VerificationKey, S::SigningKey)>>> =
+            match config.key_policy {
+                KeyPolicy::Eager => Some(
+                    (0..n)
+                        .map(|i| {
+                            let kprg = prg.child("party-keys", i as u64);
+                            (0..keys_per_party)
+                                .map(|j| {
+                                    let mut slot_prg = kprg.child("slot", j as u64);
+                                    scheme.keygen(&pp, &mut slot_prg)
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                ),
+                KeyPolicy::Lazy | KeyPolicy::Sampled => None,
+            };
 
         // Corruption: adaptive during setup (sees all public keys) — or,
         // for [`CorruptionPlan::Adaptive`], adaptive *post-setup*: the
@@ -676,17 +838,32 @@ where
                 j < keys_per_party,
                 "party {owner} needs more than {keys_per_party} keys"
             );
-            vks.push(party_keys[owner.index()][j].0.clone());
+            let vk = match &eager_keys {
+                Some(keys) => keys[owner.index()][j].0.clone(),
+                None => {
+                    let mut slot_prg = prg.child("party-keys", owner.0).child("slot", j as u64);
+                    scheme.keygen(&pp, &mut slot_prg).0
+                }
+            };
+            vks.push(vk);
             slot_sk.push((owner.index(), j));
         }
         let keyboard = scheme.prepare(&pp, &vks);
+
+        let keys = match (config.key_policy, eager_keys) {
+            (_, Some(keys)) => KeyStore::Eager(keys),
+            (KeyPolicy::Lazy, None) => KeyStore::Lazy { instantiable: None },
+            (_, None) => KeyStore::Lazy {
+                instantiable: Some(sampled_mask(&tree, &corrupt)),
+            },
+        };
 
         let mut session = Session {
             scheme,
             config: config.clone(),
             params,
             pp,
-            party_keys,
+            keys,
             slot_sk,
             keyboard,
             tree,
@@ -754,6 +931,36 @@ where
     /// per-tag sent/received marginals sum to the untyped byte totals.
     pub fn tags_conserve_totals(&self) -> bool {
         self.net.metrics().tags_conserve_totals()
+    }
+
+    /// The signing key for `party`'s `j`-th virtual identity, resolved
+    /// under the session's [`KeyPolicy`]: borrowed from the eager store,
+    /// re-derived from the session PRG (Lazy), or a structured
+    /// [`KeyError`] for a party the Sampled policy left uninstantiated.
+    ///
+    /// Derivation is the same pure PRG child used at establishment, so a
+    /// re-derived key is bit-identical to its eager counterpart.
+    pub fn signing_key(&self, party: PartyId, j: usize) -> Result<KeyHandle<'_, S>, KeyError> {
+        match &self.keys {
+            KeyStore::Eager(keys) => Ok(KeyHandle::Borrowed(&keys[party.index()][j].1)),
+            KeyStore::Lazy { instantiable } => {
+                if let Some(mask) = instantiable {
+                    if !mask[party.index()] {
+                        return Err(KeyError {
+                            party,
+                            key_index: j,
+                        });
+                    }
+                }
+                let mut slot_prg = self
+                    .prg
+                    .child("party-keys", party.0)
+                    .child("slot", j as u64);
+                Ok(KeyHandle::Owned(
+                    self.scheme.keygen(&self.pp, &mut slot_prg).1,
+                ))
+            }
+        }
     }
 
     fn snap(&mut self, label: &'static str) {
@@ -1011,30 +1218,91 @@ where
         self.snap("3:disseminate-(y,s)");
 
         // ---- Step 4: sign per virtual identity, submit to leaf committees. ----
-        let mut leaf_inputs: Vec<Vec<S::Signature>> = vec![Vec::new(); params.leaf_count];
-        for &p in &self.honest.clone() {
-            let Some(my_payload) = ys_result.per_party[p.index()].clone() else {
-                continue; // isolated: nothing to sign
-            };
-            if wire::decode_msg::<ValueSeed>(&my_payload).is_err() {
-                continue; // hardened decode: never sign malformed bytes
-            }
-            for &slot in self.tree.party_slots(p) {
-                let (owner, j) = self.slot_sk[slot as usize];
-                debug_assert_eq!(owner, p.index());
-                let sk = &self.party_keys[owner][j].1;
-                let Some(sig) = self
-                    .scheme
-                    .sign_epoch(&self.pp, slot, sk, epoch, &my_payload)
+        // Streaming leaf-major pass: one leaf's signatures are produced,
+        // filtered, and folded into the leaf aggregate before the next
+        // leaf's exist, so peak signature storage is one committee's worth
+        // instead of all `total_slots` at once. Seats inside a leaf are
+        // ordered (honest before corrupt, then by owner and slot) to
+        // reproduce the exact aggregation input order of the party-major
+        // formulation; metrics charges commute, so for them only the
+        // multiset per step matters.
+        let evil_payload = wire::encode_msg(&ValueSeed {
+            epoch,
+            value: vec![9u8; value.len().max(1)],
+            seed: Digest::ZERO,
+        });
+        let byzantine = self.config.profile == AdversaryProfile::Byzantine;
+        let signable: Vec<bool> = (0..n)
+            .map(|i| {
+                !corrupt.contains(&PartyId(i as u64))
+                    && ys_result.per_party[i]
+                        .as_ref()
+                        .is_some_and(|b| wire::decode_msg::<ValueSeed>(b).is_ok())
+            })
+            .collect();
+        let mut evil_entries: Vec<(usize, u64, S::Signature)> = Vec::new();
+        let mut leaf_honest: Vec<Option<S::Signature>> = Vec::with_capacity(params.leaf_count);
+        // (input_bytes, out_len) per leaf: the step-5 aggregation charges,
+        // deferred so they land after the step-4 snapshot boundary exactly
+        // as in the two-pass formulation.
+        let mut leaf_charges: Vec<(usize, usize)> = Vec::with_capacity(params.leaf_count);
+        for leaf in 0..params.leaf_count {
+            let range = self.tree.leaf_range(leaf);
+            let mut seats: Vec<(bool, usize, u64)> = range
+                .clone()
+                .map(|slot| {
+                    let (owner, _) = self.slot_sk[slot as usize];
+                    (corrupt.contains(&PartyId(owner as u64)), owner, slot)
+                })
+                .collect();
+            seats.sort_unstable();
+            let committee = dedup_committee(self.tree.committee(0, leaf));
+            let honest_members: Vec<PartyId> = committee
+                .iter()
+                .filter(|p| !corrupt.contains(p))
+                .copied()
+                .collect();
+            let mut sigs: Vec<S::Signature> = Vec::new();
+            for &(is_corrupt, owner, slot) in &seats {
+                let (owner_ck, j) = self.slot_sk[slot as usize];
+                debug_assert_eq!(owner_ck, owner);
+                let p = PartyId(owner as u64);
+                if is_corrupt {
+                    if !byzantine {
+                        continue;
+                    }
+                    let Ok(handle) = self.signing_key(p, j) else {
+                        continue; // Sampled policy: key never materialized
+                    };
+                    if let Some(sig) =
+                        self.scheme
+                            .sign_epoch(&self.pp, slot, handle.key(), epoch, &evil_payload)
+                    {
+                        evil_entries.push((owner, slot, sig.clone()));
+                        sigs.push(sig);
+                    }
+                    continue;
+                }
+                if !signable[owner] {
+                    continue; // isolated or malformed payload: signs nothing
+                }
+                let my_payload = ys_result.per_party[owner]
+                    .clone()
+                    .expect("signable implies payload");
+                let Ok(handle) = self.signing_key(p, j) else {
+                    continue; // Sampled policy: off-path vote is lost regardless
+                };
+                let Some(sig) =
+                    self.scheme
+                        .sign_epoch(&self.pp, slot, handle.key(), epoch, &my_payload)
                 else {
                     continue; // sortition loser (OWF scheme)
                 };
-                let leaf = self.tree.slot_leaf(slot);
                 let len = self.scheme.signature_len(&sig);
-                let mut recipients: BTreeSet<PartyId> =
-                    self.tree.committee(0, leaf).iter().copied().collect();
-                recipients.remove(&p);
-                for &r in &recipients {
+                for &r in &committee {
+                    if r == p {
+                        continue;
+                    }
                     self.net
                         .metrics_mut()
                         .record_send_tagged(p, r, len, tag::SIG_SUBMIT);
@@ -1042,59 +1310,17 @@ where
                         .metrics_mut()
                         .record_receive_tagged(r, p, len, tag::SIG_SUBMIT);
                 }
-                leaf_inputs[leaf].push(sig);
+                sigs.push(sig);
             }
-        }
-        let evil_payload = wire::encode_msg(&ValueSeed {
-            epoch,
-            value: vec![9u8; value.len().max(1)],
-            seed: Digest::ZERO,
-        });
-        let mut evil_sigs: Vec<S::Signature> = Vec::new();
-        if self.config.profile == AdversaryProfile::Byzantine {
-            for &p in corrupt.iter() {
-                for &slot in self.tree.party_slots(p) {
-                    let (owner, j) = self.slot_sk[slot as usize];
-                    let sk = &self.party_keys[owner][j].1;
-                    if let Some(sig) =
-                        self.scheme
-                            .sign_epoch(&self.pp, slot, sk, epoch, &evil_payload)
-                    {
-                        leaf_inputs[self.tree.slot_leaf(slot)].push(sig.clone());
-                        evil_sigs.push(sig);
-                    }
-                }
-            }
-        }
-        self.net.bump_round();
-        self.snap("4:sign-and-submit");
-
-        // ---- Step 5: robust redundant-path aggregation up the tree. ----
-        // Every node's aggregate ascends via its full committee; parents
-        // vote per child over the redundant copies (DESIGN.md §4b), so a
-        // node contributes as long as corrupted members stay a strict
-        // minority of its distinct committee — the 1/3 goodness threshold
-        // only matters for the classical analysis now.
-        //
-        // Honest leaf values: all honest leaf members hold the same
-        // majority-exchanged signature set (step 5b), aggregated iff the
-        // honest members form the f_aggr-sig quorum.
-        let mut leaf_honest: Vec<Option<S::Signature>> = Vec::with_capacity(params.leaf_count);
-        for (leaf, sigs) in leaf_inputs.iter().enumerate() {
-            let committee = dedup_committee(self.tree.committee(0, leaf));
-            let honest_members: Vec<PartyId> = committee
-                .iter()
-                .filter(|p| !corrupt.contains(p))
-                .copied()
-                .collect();
-            let range = self.tree.leaf_range(leaf);
+            // Step 5a for this leaf: all honest leaf members hold the same
+            // majority-exchanged signature set, aggregated iff the honest
+            // members form the f_aggr-sig quorum.
             let filtered: Vec<S::Signature> = sigs
-                .iter()
+                .into_iter()
                 .filter(|sig| {
                     self.scheme.min_index(sig) == self.scheme.max_index(sig)
                         && range.contains(&self.scheme.min_index(sig))
                 })
-                .cloned()
                 .collect();
             let input_bytes: usize = filtered.iter().map(|s| self.scheme.signature_len(s)).sum();
             let agg = f_aggr_sig_uniform(
@@ -1110,10 +1336,33 @@ where
                 .as_ref()
                 .map(|a| self.scheme.signature_len(a))
                 .unwrap_or(0);
+            leaf_charges.push((input_bytes, out_len));
+            leaf_honest.push(agg);
+        }
+        // Restore the party-major order the corrupt signing loop used to
+        // produce, so the colluding aggregate below is bit-identical.
+        evil_entries.sort_unstable_by_key(|&(owner, slot, _)| (owner, slot));
+        let evil_sigs: Vec<S::Signature> =
+            evil_entries.into_iter().map(|(_, _, sig)| sig).collect();
+        self.net.bump_round();
+        self.snap("4:sign-and-submit");
+
+        // ---- Step 5: robust redundant-path aggregation up the tree. ----
+        // Every node's aggregate ascends via its full committee; parents
+        // vote per child over the redundant copies (DESIGN.md §4b), so a
+        // node contributes as long as corrupted members stay a strict
+        // minority of its distinct committee — the 1/3 goodness threshold
+        // only matters for the classical analysis now.
+        for (leaf, &(input_bytes, out_len)) in leaf_charges.iter().enumerate() {
+            let committee = dedup_committee(self.tree.committee(0, leaf));
+            let honest_members: Vec<PartyId> = committee
+                .iter()
+                .filter(|p| !corrupt.contains(p))
+                .copied()
+                .collect();
             let bytes_map: BTreeMap<PartyId, usize> =
                 committee.iter().map(|&m| (m, input_bytes)).collect();
             charge_aggr_round(&mut self.net, &honest_members, &bytes_map, out_len);
-            leaf_honest.push(agg);
         }
         // All leaves aggregated in parallel: one exchange + MPC round pair.
         self.net.bump_round();

@@ -7,6 +7,31 @@
 //!
 //! [`MetricsTable::report`] aggregates into the columns of Table 1:
 //! max-per-party communication, totals, and maximum locality.
+//!
+//! # Sparse layout
+//!
+//! The table is *sparse*: `new(n)` allocates one pointer-sized slot per
+//! party and nothing else. A party's counters ([`PartyCell`], private) are
+//! boxed on its **first** charge, so establishment-only runs and the
+//! million-party sweeps (`--bin scale`) pay memory proportional to the
+//! parties that actually communicate, not to `n`. Peer sets and per-tag
+//! marginals live in sorted vectors inside the cell (committee-sized, so
+//! binary-search insertion beats a `BTreeMap`'s per-node allocations).
+//!
+//! A pre-aggregated [`Totals`] row is maintained on every charge, which
+//! keeps the global conservation check
+//! ([`MetricsTable::tags_conserve_totals`]) and the per-step attribution in
+//! `--bin table1` exact without a full scan.
+//!
+//! # Differential oracle
+//!
+//! The previous dense implementation is kept verbatim as
+//! [`DenseMetricsTable`]. [`MetricsTable::enable_shadow`] attaches a dense
+//! shadow that receives every charge first; [`MetricsTable::shadow_divergence`]
+//! then asserts exact equality on every counter, peer set, tag marginal,
+//! report column and conservation check. The chaos catalogue runs under
+//! this shadow in `tests/proptest_metrics_sparse.rs` — the acceptance gate
+//! for this rewrite.
 
 use crate::envelope::PartyId;
 use crate::wire;
@@ -14,7 +39,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Communication counters for a single party.
-#[derive(Clone, Debug, Default)]
+///
+/// Returned by [`MetricsTable::party`] as an owned snapshot (the sparse
+/// table stores sorted vectors internally); [`DenseMetricsTable::party`]
+/// hands out references to the same type.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PartyMetrics {
     /// Bytes of payload sent.
     pub bytes_sent: u64,
@@ -48,17 +77,440 @@ impl PartyMetrics {
     }
 }
 
-/// Metrics for all parties in one protocol execution.
+/// Sparse per-party counters: allocated on a party's first charge.
+///
+/// Peer sets and tag marginals are sorted vectors — the working sets are
+/// committee-sized (polylog n), where binary-search insertion into a flat
+/// vector is both smaller and faster than tree maps.
+#[derive(Clone, Debug, Default)]
+struct PartyCell {
+    bytes_sent: u64,
+    bytes_received: u64,
+    msgs_sent: u64,
+    msgs_received: u64,
+    /// Sorted, deduplicated peer ids (outbound).
+    peers_out: Vec<u64>,
+    /// Sorted, deduplicated peer ids (inbound).
+    peers_in: Vec<u64>,
+    /// Sorted `(tag, bytes)` marginals for sent traffic.
+    sent_by_tag: Vec<(u8, u64)>,
+    /// Sorted `(tag, bytes)` marginals for received traffic.
+    recv_by_tag: Vec<(u8, u64)>,
+}
+
+fn insert_sorted(v: &mut Vec<u64>, x: u64) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+fn bump_tag(v: &mut Vec<(u8, u64)>, tag: u8, bytes: u64) {
+    match v.binary_search_by_key(&tag, |e| e.0) {
+        Ok(i) => v[i].1 += bytes,
+        Err(i) => v.insert(i, (tag, bytes)),
+    }
+}
+
+/// Count of the union of two sorted, deduplicated slices.
+fn union_len(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+        n += 1;
+    }
+    n + (a.len() - i) + (b.len() - j)
+}
+
+impl PartyCell {
+    fn bytes_total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    fn locality(&self) -> usize {
+        union_len(&self.peers_out, &self.peers_in)
+    }
+
+    fn conserves(&self) -> bool {
+        self.sent_by_tag.iter().map(|(_, b)| b).sum::<u64>() == self.bytes_sent
+            && self.recv_by_tag.iter().map(|(_, b)| b).sum::<u64>() == self.bytes_received
+    }
+
+    /// Owned dense-shaped view of this cell.
+    fn snapshot(&self) -> PartyMetrics {
+        PartyMetrics {
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.bytes_received,
+            msgs_sent: self.msgs_sent,
+            msgs_received: self.msgs_received,
+            peers_out: self.peers_out.iter().map(|&p| PartyId(p)).collect(),
+            peers_in: self.peers_in.iter().map(|&p| PartyId(p)).collect(),
+            sent_by_tag: self.sent_by_tag.iter().copied().collect(),
+            recv_by_tag: self.recv_by_tag.iter().copied().collect(),
+        }
+    }
+}
+
+/// Pre-aggregated global counters, maintained incrementally on every
+/// charge so whole-table invariants need no scan over `n` cells.
+#[derive(Clone, Debug, Default)]
+struct Totals {
+    bytes_sent: u64,
+    bytes_received: u64,
+    msgs_sent: u64,
+    msgs_received: u64,
+    sent_by_tag: BTreeMap<u8, u64>,
+    recv_by_tag: BTreeMap<u8, u64>,
+}
+
+impl Totals {
+    fn is_zero(&self) -> bool {
+        self.bytes_sent == 0
+            && self.bytes_received == 0
+            && self.msgs_sent == 0
+            && self.msgs_received == 0
+            && self.sent_by_tag.is_empty()
+            && self.recv_by_tag.is_empty()
+    }
+
+    fn conserves(&self) -> bool {
+        self.sent_by_tag.values().sum::<u64>() == self.bytes_sent
+            && self.recv_by_tag.values().sum::<u64>() == self.bytes_received
+    }
+}
+
+/// Metrics for all parties in one protocol execution (sparse layout; see
+/// the module docs).
 #[derive(Clone, Debug)]
 pub struct MetricsTable {
+    /// One slot per party; `None` until the party's first charge.
+    cells: Vec<Option<Box<PartyCell>>>,
+    totals: Totals,
+    rounds: u64,
+    /// Dense differential oracle; every mutation is mirrored here first
+    /// when attached (see [`MetricsTable::enable_shadow`]).
+    shadow: Option<Box<DenseMetricsTable>>,
+}
+
+impl MetricsTable {
+    /// Creates a table for `n` parties. O(n) pointer slots, zero cells:
+    /// per-party storage materializes on first charge, so tables for runs
+    /// that never charge most parties (establishment-only, huge-n sweeps)
+    /// stay proportional to the touched set.
+    pub fn new(n: usize) -> Self {
+        MetricsTable {
+            cells: vec![None; n],
+            totals: Totals::default(),
+            rounds: 0,
+            shadow: None,
+        }
+    }
+
+    /// Number of parties.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the table tracks no parties.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of parties whose counters have materialized (i.e. that were
+    /// charged at least once). Memory scales with this, not with `len()`.
+    pub fn allocated_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Per-party metrics, as an owned snapshot. Parties never charged
+    /// report all-zero counters. Panics if `id` is out of range.
+    pub fn party(&self, id: PartyId) -> PartyMetrics {
+        match self.cells[id.index()].as_deref() {
+            Some(cell) => cell.snapshot(),
+            None => PartyMetrics::default(),
+        }
+    }
+
+    /// Attaches the dense reference implementation as a differential
+    /// shadow. Must be called before any charge lands (the shadow cannot
+    /// replay history); panics otherwise.
+    pub fn enable_shadow(&mut self) {
+        assert!(
+            self.totals.is_zero() && self.rounds == 0,
+            "metrics shadow must be enabled before any charge"
+        );
+        self.shadow = Some(Box::new(DenseMetricsTable::new(self.cells.len())));
+    }
+
+    /// True if a dense shadow is attached.
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Differential check against the dense shadow: `None` when no shadow
+    /// is attached **or** every counter, peer set, tag marginal, report
+    /// column and conservation check agrees exactly; otherwise a
+    /// description of the first divergence found.
+    pub fn shadow_divergence(&self) -> Option<String> {
+        let dense = self.shadow.as_deref()?;
+        if dense.len() != self.len() {
+            return Some(format!(
+                "party count: sparse {} != dense {}",
+                self.len(),
+                dense.len()
+            ));
+        }
+        if dense.rounds() != self.rounds {
+            return Some(format!(
+                "rounds: sparse {} != dense {}",
+                self.rounds,
+                dense.rounds()
+            ));
+        }
+        for i in 0..self.len() {
+            let id = PartyId::from(i);
+            let sparse = self.party(id);
+            let dense_m = dense.party(id);
+            if &sparse != dense_m {
+                return Some(format!("party {i}: sparse {sparse:?} != dense {dense_m:?}"));
+            }
+        }
+        if self.report() != dense.report() {
+            return Some(format!(
+                "report: sparse {:?} != dense {:?}",
+                self.report(),
+                dense.report()
+            ));
+        }
+        let ids = || (0..self.len()).map(PartyId::from);
+        if self.breakdown_for(ids()) != dense.breakdown_for(ids()) {
+            return Some("tag breakdown diverged".into());
+        }
+        if self.tags_conserve_totals() != dense.tags_conserve_totals() {
+            return Some("conservation verdicts diverged".into());
+        }
+        None
+    }
+
+    fn cell_mut(&mut self, index: usize) -> &mut PartyCell {
+        self.cells[index].get_or_insert_with(Default::default)
+    }
+
+    /// Records a sent envelope, attributed to [`crate::wire::tag::RAW`].
+    pub fn record_send(&mut self, from: PartyId, to: PartyId, bytes: usize) {
+        self.record_send_tagged(from, to, bytes, wire::tag::RAW);
+    }
+
+    /// Records a sent envelope, attributing its bytes to a wire tag.
+    pub fn record_send_tagged(&mut self, from: PartyId, to: PartyId, bytes: usize, tag: u8) {
+        if let Some(shadow) = self.shadow.as_deref_mut() {
+            shadow.record_send_tagged(from, to, bytes, tag);
+        }
+        let m = self.cell_mut(from.index());
+        m.bytes_sent += bytes as u64;
+        m.msgs_sent += 1;
+        insert_sorted(&mut m.peers_out, to.0);
+        bump_tag(&mut m.sent_by_tag, tag, bytes as u64);
+        self.totals.bytes_sent += bytes as u64;
+        self.totals.msgs_sent += 1;
+        *self.totals.sent_by_tag.entry(tag).or_insert(0) += bytes as u64;
+    }
+
+    /// Records a received-and-processed envelope, attributed to
+    /// [`crate::wire::tag::RAW`].
+    pub fn record_receive(&mut self, to: PartyId, from: PartyId, bytes: usize) {
+        self.record_receive_tagged(to, from, bytes, wire::tag::RAW);
+    }
+
+    /// Records a received-and-processed envelope, attributing its bytes to
+    /// a wire tag.
+    pub fn record_receive_tagged(&mut self, to: PartyId, from: PartyId, bytes: usize, tag: u8) {
+        if let Some(shadow) = self.shadow.as_deref_mut() {
+            shadow.record_receive_tagged(to, from, bytes, tag);
+        }
+        let m = self.cell_mut(to.index());
+        m.bytes_received += bytes as u64;
+        m.msgs_received += 1;
+        insert_sorted(&mut m.peers_in, from.0);
+        bump_tag(&mut m.recv_by_tag, tag, bytes as u64);
+        self.totals.bytes_received += bytes as u64;
+        self.totals.msgs_received += 1;
+        *self.totals.recv_by_tag.entry(tag).or_insert(0) += bytes as u64;
+    }
+
+    /// Charges synthetic communication to a party — used when a
+    /// sub-functionality is costed analytically rather than executed
+    /// message-by-message (see DESIGN.md §2, substitution 5).
+    ///
+    /// This variant has no addressee: the bytes count toward `bytes_sent`
+    /// but touch neither peer set, so they are invisible to
+    /// [`PartyMetrics::locality`] and to the receiver's
+    /// [`PartyMetrics::bytes_total`]. Synthetic traffic with a known
+    /// committee topology (e.g. redundant-path aggregation copies) must use
+    /// [`MetricsTable::charge_synthetic_link`] instead, or Table 1's
+    /// locality and max-bytes columns silently under-report the redundancy
+    /// factor.
+    pub fn charge_synthetic(&mut self, party: PartyId, bytes: u64, msgs: u64) {
+        self.charge_synthetic_tagged(party, bytes, msgs, wire::tag::RAW);
+    }
+
+    /// [`MetricsTable::charge_synthetic`] with an explicit wire tag for the
+    /// per-tag byte attribution.
+    pub fn charge_synthetic_tagged(&mut self, party: PartyId, bytes: u64, msgs: u64, tag: u8) {
+        if let Some(shadow) = self.shadow.as_deref_mut() {
+            shadow.charge_synthetic_tagged(party, bytes, msgs, tag);
+        }
+        let m = self.cell_mut(party.index());
+        m.bytes_sent += bytes;
+        m.msgs_sent += msgs;
+        bump_tag(&mut m.sent_by_tag, tag, bytes);
+        self.totals.bytes_sent += bytes;
+        self.totals.msgs_sent += msgs;
+        *self.totals.sent_by_tag.entry(tag).or_insert(0) += bytes;
+    }
+
+    /// Charges synthetic communication over a concrete `from → to` link:
+    /// the sender's `bytes_sent`/`msgs_sent` and the receiver's
+    /// `bytes_received`/`msgs_received` both move, and the pair enters each
+    /// other's peer sets so [`PartyMetrics::locality`] and
+    /// [`PartyMetrics::bytes_total`] account the traffic exactly like a
+    /// real envelope.
+    ///
+    /// Use this for analytically-costed protocols whose communication graph
+    /// is known (committee exchanges, redundant-path copies); use
+    /// [`MetricsTable::charge_synthetic`] only when no addressee exists.
+    pub fn charge_synthetic_link(&mut self, from: PartyId, to: PartyId, bytes: u64, msgs: u64) {
+        self.charge_synthetic_link_tagged(from, to, bytes, msgs, wire::tag::RAW);
+    }
+
+    /// [`MetricsTable::charge_synthetic_link`] with an explicit wire tag
+    /// for the per-tag byte attribution (both endpoints).
+    pub fn charge_synthetic_link_tagged(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        bytes: u64,
+        msgs: u64,
+        tag: u8,
+    ) {
+        if let Some(shadow) = self.shadow.as_deref_mut() {
+            shadow.charge_synthetic_link_tagged(from, to, bytes, msgs, tag);
+        }
+        let sender = self.cell_mut(from.index());
+        sender.bytes_sent += bytes;
+        sender.msgs_sent += msgs;
+        insert_sorted(&mut sender.peers_out, to.0);
+        bump_tag(&mut sender.sent_by_tag, tag, bytes);
+        let receiver = self.cell_mut(to.index());
+        receiver.bytes_received += bytes;
+        receiver.msgs_received += msgs;
+        insert_sorted(&mut receiver.peers_in, from.0);
+        bump_tag(&mut receiver.recv_by_tag, tag, bytes);
+        self.totals.bytes_sent += bytes;
+        self.totals.msgs_sent += msgs;
+        *self.totals.sent_by_tag.entry(tag).or_insert(0) += bytes;
+        self.totals.bytes_received += bytes;
+        self.totals.msgs_received += msgs;
+        *self.totals.recv_by_tag.entry(tag).or_insert(0) += bytes;
+    }
+
+    /// Advances the round counter.
+    pub fn bump_round(&mut self) {
+        if let Some(shadow) = self.shadow.as_deref_mut() {
+            shadow.bump_round();
+        }
+        self.rounds += 1;
+    }
+
+    /// Rounds elapsed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Aggregated report over a set of parties (typically the honest ones —
+    /// the adversary may inflate its own counters arbitrarily).
+    pub fn report_for<I: IntoIterator<Item = PartyId>>(&self, ids: I) -> Report {
+        let mut report = Report {
+            rounds: self.rounds,
+            ..Report::default()
+        };
+        let mut count = 0u64;
+        for id in ids {
+            count += 1;
+            let Some(m) = self.cells[id.index()].as_deref() else {
+                continue;
+            };
+            let total = m.bytes_total();
+            report.max_bytes_per_party = report.max_bytes_per_party.max(total);
+            report.max_bytes_sent = report.max_bytes_sent.max(m.bytes_sent);
+            report.total_bytes += m.bytes_sent;
+            report.total_msgs += m.msgs_sent;
+            report.max_msgs_per_party =
+                report.max_msgs_per_party.max(m.msgs_sent + m.msgs_received);
+            report.max_locality = report.max_locality.max(m.locality() as u64);
+        }
+        report.parties = count;
+        report
+    }
+
+    /// Aggregated report over all parties.
+    pub fn report(&self) -> Report {
+        self.report_for((0..self.cells.len()).map(PartyId::from))
+    }
+
+    /// Per-tag byte breakdown aggregated over a set of parties (typically
+    /// the honest ones) — the per-step attribution dimension behind
+    /// Table 1's totals.
+    pub fn breakdown_for<I: IntoIterator<Item = PartyId>>(&self, ids: I) -> TagBreakdown {
+        let mut out = TagBreakdown::default();
+        for id in ids {
+            let Some(m) = self.cells[id.index()].as_deref() else {
+                continue;
+            };
+            for &(t, b) in &m.sent_by_tag {
+                *out.sent.entry(t).or_insert(0) += b;
+            }
+            for &(t, b) in &m.recv_by_tag {
+                *out.received.entry(t).or_insert(0) += b;
+            }
+        }
+        out
+    }
+
+    /// Exact conservation of the per-tag attribution: for **every**
+    /// materialized party, the per-tag sent/received marginals sum to the
+    /// party's untyped `bytes_sent`/`bytes_received` totals — and the
+    /// pre-aggregated global marginals conserve independently (an O(tags)
+    /// cross-check that needs no cell scan). Holds by construction — every
+    /// recording path goes through a `_tagged` variant — and is asserted by
+    /// tests after full protocol runs. Unmaterialized parties are all-zero
+    /// and conserve trivially.
+    pub fn tags_conserve_totals(&self) -> bool {
+        self.totals.conserves() && self.cells.iter().flatten().all(|m| m.conserves())
+    }
+}
+
+/// The dense reference implementation the sparse [`MetricsTable`] is
+/// checked against: one eagerly-allocated [`PartyMetrics`] per party,
+/// exactly the pre-refactor layout. O(n) memory at construction — kept
+/// only as the differential oracle (see [`MetricsTable::enable_shadow`])
+/// and for small-n unit tests; production paths use the sparse table.
+#[derive(Clone, Debug)]
+pub struct DenseMetricsTable {
     parties: Vec<PartyMetrics>,
     rounds: u64,
 }
 
-impl MetricsTable {
-    /// Creates a table for `n` parties.
+impl DenseMetricsTable {
+    /// Creates a table for `n` parties, allocating all cells up front.
     pub fn new(n: usize) -> Self {
-        MetricsTable {
+        DenseMetricsTable {
             parties: vec![PartyMetrics::default(); n],
             rounds: 0,
         }
@@ -109,24 +561,12 @@ impl MetricsTable {
         *m.recv_by_tag.entry(tag).or_insert(0) += bytes as u64;
     }
 
-    /// Charges synthetic communication to a party — used when a
-    /// sub-functionality is costed analytically rather than executed
-    /// message-by-message (see DESIGN.md §2, substitution 5).
-    ///
-    /// This variant has no addressee: the bytes count toward `bytes_sent`
-    /// but touch neither peer set, so they are invisible to
-    /// [`PartyMetrics::locality`] and to the receiver's
-    /// [`PartyMetrics::bytes_total`]. Synthetic traffic with a known
-    /// committee topology (e.g. redundant-path aggregation copies) must use
-    /// [`MetricsTable::charge_synthetic_link`] instead, or Table 1's
-    /// locality and max-bytes columns silently under-report the redundancy
-    /// factor.
+    /// See [`MetricsTable::charge_synthetic`].
     pub fn charge_synthetic(&mut self, party: PartyId, bytes: u64, msgs: u64) {
         self.charge_synthetic_tagged(party, bytes, msgs, wire::tag::RAW);
     }
 
-    /// [`MetricsTable::charge_synthetic`] with an explicit wire tag for the
-    /// per-tag byte attribution.
+    /// See [`MetricsTable::charge_synthetic_tagged`].
     pub fn charge_synthetic_tagged(&mut self, party: PartyId, bytes: u64, msgs: u64, tag: u8) {
         let m = &mut self.parties[party.index()];
         m.bytes_sent += bytes;
@@ -134,22 +574,12 @@ impl MetricsTable {
         *m.sent_by_tag.entry(tag).or_insert(0) += bytes;
     }
 
-    /// Charges synthetic communication over a concrete `from → to` link:
-    /// the sender's `bytes_sent`/`msgs_sent` and the receiver's
-    /// `bytes_received`/`msgs_received` both move, and the pair enters each
-    /// other's peer sets so [`PartyMetrics::locality`] and
-    /// [`PartyMetrics::bytes_total`] account the traffic exactly like a
-    /// real envelope.
-    ///
-    /// Use this for analytically-costed protocols whose communication graph
-    /// is known (committee exchanges, redundant-path copies); use
-    /// [`MetricsTable::charge_synthetic`] only when no addressee exists.
+    /// See [`MetricsTable::charge_synthetic_link`].
     pub fn charge_synthetic_link(&mut self, from: PartyId, to: PartyId, bytes: u64, msgs: u64) {
         self.charge_synthetic_link_tagged(from, to, bytes, msgs, wire::tag::RAW);
     }
 
-    /// [`MetricsTable::charge_synthetic_link`] with an explicit wire tag
-    /// for the per-tag byte attribution (both endpoints).
+    /// See [`MetricsTable::charge_synthetic_link_tagged`].
     pub fn charge_synthetic_link_tagged(
         &mut self,
         from: PartyId,
@@ -180,8 +610,7 @@ impl MetricsTable {
         self.rounds
     }
 
-    /// Aggregated report over a set of parties (typically the honest ones —
-    /// the adversary may inflate its own counters arbitrarily).
+    /// See [`MetricsTable::report_for`].
     pub fn report_for<I: IntoIterator<Item = PartyId>>(&self, ids: I) -> Report {
         let mut report = Report {
             rounds: self.rounds,
@@ -209,9 +638,7 @@ impl MetricsTable {
         self.report_for((0..self.parties.len()).map(PartyId::from))
     }
 
-    /// Per-tag byte breakdown aggregated over a set of parties (typically
-    /// the honest ones) — the per-step attribution dimension behind
-    /// Table 1's totals.
+    /// See [`MetricsTable::breakdown_for`].
     pub fn breakdown_for<I: IntoIterator<Item = PartyId>>(&self, ids: I) -> TagBreakdown {
         let mut out = TagBreakdown::default();
         for id in ids {
@@ -226,11 +653,7 @@ impl MetricsTable {
         out
     }
 
-    /// Exact conservation of the per-tag attribution: for **every** party,
-    /// the per-tag sent/received marginals sum to the party's untyped
-    /// `bytes_sent`/`bytes_received` totals. Holds by construction — every
-    /// recording path goes through a `_tagged` variant — and is asserted
-    /// by tests after full protocol runs.
+    /// See [`MetricsTable::tags_conserve_totals`].
     pub fn tags_conserve_totals(&self) -> bool {
         self.parties.iter().all(|m| {
             m.sent_by_tag.values().sum::<u64>() == m.bytes_sent
@@ -447,5 +870,57 @@ mod tests {
         t.record_send(PartyId(0), PartyId(1), 1);
         t.record_receive(PartyId(0), PartyId(1), 1);
         assert_eq!(t.party(PartyId(0)).locality(), 1);
+    }
+
+    #[test]
+    fn cells_materialize_on_first_charge_only() {
+        // The O(n²)-shaped waste this rewrite removes: a table for a
+        // million parties must cost pointer slots only until charged.
+        let mut t = MetricsTable::new(1 << 20);
+        assert_eq!(t.allocated_cells(), 0);
+        t.record_send(PartyId(7), PartyId(9), 10);
+        assert_eq!(t.allocated_cells(), 1);
+        t.record_receive(PartyId(9), PartyId(7), 10);
+        assert_eq!(t.allocated_cells(), 2);
+        // Re-charging an existing cell allocates nothing new.
+        t.record_send(PartyId(7), PartyId(9), 10);
+        assert_eq!(t.allocated_cells(), 2);
+        // Untouched parties still report exact zeros.
+        assert_eq!(t.party(PartyId(500_000)), PartyMetrics::default());
+        let r = t.report();
+        assert_eq!(r.parties, 1 << 20);
+        assert_eq!(r.total_bytes, 20);
+    }
+
+    #[test]
+    fn dense_shadow_agrees_on_mixed_charge_sequence() {
+        use crate::wire::tag;
+        let mut t = MetricsTable::new(8);
+        t.enable_shadow();
+        assert!(t.shadow_enabled());
+        t.record_send_tagged(PartyId(0), PartyId(1), 10, tag::VALUE_SEED);
+        t.record_receive_tagged(PartyId(1), PartyId(0), 10, tag::VALUE_SEED);
+        t.record_send(PartyId(3), PartyId(2), 17);
+        t.charge_synthetic_tagged(PartyId(4), 100, 2, tag::ESTABLISH);
+        t.charge_synthetic_link_tagged(PartyId(5), PartyId(6), 64, 1, tag::AGGR_SHARE);
+        t.charge_synthetic(PartyId(7), 1, 1);
+        t.bump_round();
+        t.record_send_tagged(PartyId(0), PartyId(1), 3, tag::SPREAD);
+        assert_eq!(t.shadow_divergence(), None);
+    }
+
+    #[test]
+    fn shadow_divergence_is_none_without_shadow() {
+        let mut t = MetricsTable::new(2);
+        t.record_send(PartyId(0), PartyId(1), 5);
+        assert_eq!(t.shadow_divergence(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any charge")]
+    fn shadow_after_charges_panics() {
+        let mut t = MetricsTable::new(2);
+        t.record_send(PartyId(0), PartyId(1), 5);
+        t.enable_shadow();
     }
 }

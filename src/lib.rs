@@ -56,8 +56,8 @@ pub mod prelude {
     pub use pba_core::baselines::{all_to_all_ba, sqrt_sampling_boost};
     pub use pba_core::broadcast::{run_broadcasts, BroadcastOutcome};
     pub use pba_core::protocol::{
-        run_ba, try_run_ba, AdversaryProfile, BaConfig, BaOutcome, ProtocolError, ProtocolPhase,
-        RoundOutcome, RunOutcome, Session,
+        run_ba, try_run_ba, AdversaryProfile, BaConfig, BaOutcome, KeyError, KeyPolicy,
+        ProtocolError, ProtocolPhase, RoundOutcome, RunOutcome, Session,
     };
     pub use pba_crypto::prg::Prg;
     pub use pba_crypto::sha256::{Digest, Sha256};

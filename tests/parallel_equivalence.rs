@@ -18,7 +18,7 @@
 //! [`ProtocolError`]: pba_core::protocol::ProtocolError
 
 use pba_bench::chaos::{default_cases, ChaosCase};
-use pba_core::protocol::{AdversaryProfile, BaConfig, Establishment, Session};
+use pba_core::protocol::{AdversaryProfile, BaConfig, Establishment, KeyPolicy, Session};
 use pba_crypto::sha256::Digest;
 use pba_srds::snark::SnarkSrds;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,6 +45,8 @@ fn run_with_threads(case: &ChaosCase, threads: usize) -> RunRecord {
         establishment: case.establishment,
         chaos: Some(case.spec.clone()),
         threads,
+        key_policy: KeyPolicy::Eager,
+        dense_shadow: false,
     };
     let scheme = SnarkSrds::with_defaults();
     let inputs = vec![1u8; case.n];

@@ -29,6 +29,8 @@ proptest! {
             establishment: pba_core::protocol::Establishment::Charged,
             chaos: None,
             threads: 1,
+            key_policy: KeyPolicy::Eager,
+            dense_shadow: false,
         };
         let inputs: Vec<u8> = if unanimous {
             vec![bit; n]
@@ -61,6 +63,8 @@ proptest! {
             establishment: pba_core::protocol::Establishment::Charged,
             chaos: None,
             threads: 1,
+            key_policy: KeyPolicy::Eager,
+            dense_shadow: false,
         };
         let out = run_ba(&scheme, &config, &vec![bit; n]);
         prop_assert!(out.agreement, "outputs: {:?}", out.outputs);
