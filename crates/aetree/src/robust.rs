@@ -207,32 +207,53 @@ pub fn robust_input_fanin(
     inputs: &[u8],
     corrupt_value: Option<u8>,
 ) -> AscentOutcome<u8> {
-    assert_eq!(inputs.len(), tree.params().n, "one input byte per party");
-    let leaf_honest: Vec<Option<u8>> = (0..tree.nodes_at_level(0))
+    robust_input_fanin_with(net, tree, corrupt, inputs, corrupt_value, |_| 1, tag::FANIN)
+}
+
+/// [`robust_input_fanin`] generalised over the voted value type, the
+/// per-copy wire size, and the charge tag.
+///
+/// The bit fan-in is the `T = u8`, one-byte-per-copy, [`tag::FANIN`]
+/// instantiation. Multi-value BA routes each party's ℓ-byte input through
+/// the same strict-majority ascent with `T = Vec<u8>`, copies charged at
+/// their framed `MvInput` size under [`tag::MV_INPUT`] — whole values are
+/// voted, not individual bytes, so a winner is always some party's input.
+pub fn robust_input_fanin_with<T: Clone + PartialEq>(
+    net: &mut Network,
+    tree: &Tree,
+    corrupt: &BTreeSet<PartyId>,
+    inputs: &[T],
+    corrupt_value: Option<T>,
+    len_of: impl Fn(&T) -> usize,
+    copy_tag: u8,
+) -> AscentOutcome<T> {
+    assert_eq!(inputs.len(), tree.params().n, "one input value per party");
+    let leaf_honest: Vec<Option<T>> = (0..tree.nodes_at_level(0))
         .map(|leaf| {
             let members = dedup_committee(tree.committee(0, leaf));
-            let copies: Vec<Option<u8>> = members
+            let copies: Vec<Option<T>> = members
                 .iter()
                 .map(|&m| {
                     if corrupt.contains(&m) {
-                        corrupt_value
+                        corrupt_value.clone()
                     } else {
-                        Some(inputs[m.index()])
+                        Some(inputs[m.index()].clone())
                     }
                 })
                 .collect();
             strict_majority(&copies)
         })
         .collect();
+    let corrupt_copy = corrupt_value;
     ascend(
         net,
         tree,
         corrupt,
         leaf_honest,
         |_net, _level, _node, winners| strict_majority(winners),
-        |_, _, _| corrupt_value,
-        |_| 1,
-        tag::FANIN,
+        move |_, _, _| corrupt_copy.clone(),
+        len_of,
+        copy_tag,
     )
 }
 

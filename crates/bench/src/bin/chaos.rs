@@ -10,7 +10,9 @@
 //! identical sweeps. Violations print a `CHAOS-REPRO` line with the
 //! exact configuration to replay.
 
-use pba_bench::chaos::{default_cases, render_sweep, run_case, ChaosReport};
+use pba_bench::chaos::{
+    default_cases, default_stream_cases, render_sweep, run_case, run_stream_case, ChaosReport,
+};
 
 fn main() {
     let seed = std::env::args()
@@ -38,7 +40,22 @@ fn main() {
         });
     }
     print!("{}", render_sweep(&reports));
-    if reports.iter().any(|r| r.verdict.is_violation()) {
+
+    // Mid-stream arming: a strategy switched on between instances of a
+    // long-lived service (the golden rows of tests/chaos_sweep.rs).
+    let stream_cases = default_stream_cases(seed.as_bytes());
+    eprintln!(
+        "chaos stream: {} mid-stream arming cases",
+        stream_cases.len()
+    );
+    let mut stream_violation = false;
+    for case in &stream_cases {
+        let report = run_stream_case(case);
+        println!("{:<50}  {}", report.case.key(), report.verdicts);
+        stream_violation |= report.verdicts.contains("VIOLATION");
+    }
+
+    if reports.iter().any(|r| r.verdict.is_violation()) || stream_violation {
         std::process::exit(1);
     }
 }

@@ -441,6 +441,143 @@ pub fn default_cases(base_seed: &[u8]) -> Vec<ChaosCase> {
     cases
 }
 
+/// One mid-stream arming case: a `k`-instance sequential stream over a
+/// single establishment that runs clean until instance `arm_at`, at which
+/// point `spec` is armed via [`Service::set_chaos`] — the adversary shows
+/// up *between* decisions of a long-lived service. Earlier instances have
+/// already settled; their verdicts must be unaffected.
+///
+/// [`Service::set_chaos`]: pba_core::protocol::Service::set_chaos
+#[derive(Clone, Debug)]
+pub struct StreamChaosCase {
+    /// Number of parties.
+    pub n: usize,
+    /// Instances in the stream.
+    pub k: usize,
+    /// Instance index the spec is armed before (0-based).
+    pub arm_at: usize,
+    /// The strategy armed mid-stream.
+    pub spec: StrategySpec,
+    /// Execution seed.
+    pub seed: Vec<u8>,
+}
+
+impl StreamChaosCase {
+    /// The `n stream-k arm@i strategy` key used by the golden table.
+    pub fn key(&self) -> String {
+        format!(
+            "{} stream-{} arm@{} {}",
+            self.n,
+            self.k,
+            self.arm_at,
+            self.spec.label()
+        )
+    }
+}
+
+/// A stream case with its per-instance verdict labels, joined by `;` in
+/// instance order.
+#[derive(Clone, Debug)]
+pub struct StreamChaosReport {
+    /// The executed case.
+    pub case: StreamChaosCase,
+    /// One verdict label per instance, `;`-joined.
+    pub verdicts: String,
+}
+
+/// The default mid-stream arming cases: content-fault strategies only
+/// (timing axes are establishment-scoped and cannot be re-armed on a
+/// running service), each arming at instance 2 of a 4-instance stream.
+pub fn default_stream_cases(base_seed: &[u8]) -> Vec<StreamChaosCase> {
+    let specs = [
+        StrategySpec::Equivocate,
+        StrategySpec::Garble(GarbleMode::Both),
+        StrategySpec::Replay { per_round: 3 },
+        StrategySpec::Flood {
+            victim: None,
+            payload_len: 512,
+            per_round: 8,
+        },
+    ];
+    specs
+        .into_iter()
+        .map(|spec| {
+            let mut seed = base_seed.to_vec();
+            seed.extend_from_slice(format!("/stream/{}", spec.label()).as_bytes());
+            StreamChaosCase {
+                n: 48,
+                k: 4,
+                arm_at: 2,
+                spec,
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// Runs one mid-stream arming case: establishes a [`Service`] with no
+/// chaos, streams instances sequentially, and swaps the strategy in via
+/// [`Service::set_chaos`] immediately before instance `arm_at`.
+///
+/// [`Service`]: pba_core::protocol::Service
+/// [`Service::set_chaos`]: pba_core::protocol::Service::set_chaos
+pub fn run_stream_case(case: &StreamChaosCase) -> StreamChaosReport {
+    use pba_core::protocol::{Service, StreamMode};
+    use pba_srds::snark::SnarkSrdsConfig;
+
+    let config = BaConfig {
+        n: case.n,
+        z: 2,
+        corruption: CorruptionPlan::Random { t: case.n / 8 },
+        profile: AdversaryProfile::Byzantine,
+        seed: case.seed.clone(),
+        establishment: Establishment::Charged,
+        chaos: None,
+        threads: 1,
+        key_policy: KeyPolicy::Eager,
+        dense_shadow: false,
+    };
+    let mss_height = usize::max(1, case.k.next_power_of_two().trailing_zeros() as usize);
+    let scheme = SnarkSrds::new(SnarkSrdsConfig {
+        mss_bits: 32,
+        mss_height,
+    });
+    let inputs = vec![vec![1u8]; case.n];
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let mut service = match Service::try_establish(&scheme, &config) {
+            Ok(s) => s,
+            Err(reason) => return vec![format!("establishment-failed({reason})")],
+        };
+        let mut labels = Vec::with_capacity(case.k);
+        for i in 0..case.k {
+            if i == case.arm_at {
+                service.set_chaos(Some(case.spec.clone()));
+            }
+            let out = service.try_run_stream(std::slice::from_ref(&inputs), StreamMode::Sequential);
+            let inst = out.instances.into_iter().next().expect("one instance ran");
+            labels.push(match inst.result {
+                Ok(mv) if mv.agreement && mv.validity => {
+                    format!("agreed({:?})", mv.value.first().copied())
+                }
+                Ok(mv) => format!(
+                    "VIOLATION(agreement={}, validity={})",
+                    mv.agreement, mv.validity
+                ),
+                Err(reason) => format!("degraded({})", reason.phase()),
+            });
+        }
+        labels
+    }));
+    let verdicts = match run {
+        Ok(labels) => labels.join(";"),
+        Err(payload) => format!("VIOLATION(panic: {})", panic_detail(payload)),
+    };
+    StreamChaosReport {
+        case: case.clone(),
+        verdicts,
+    }
+}
+
 /// Runs every case and returns the reports, in order.
 pub fn run_sweep(cases: &[ChaosCase]) -> Vec<ChaosReport> {
     cases

@@ -31,13 +31,21 @@
 //! * **the million-party scaling sweep**
 //!   (`cargo run -p pba-bench --bin scale --release [-- --smoke]`) —
 //!   full honest `π_ba` rounds up to `n = 2^20` with sparse metrics and
-//!   lazy keygen, bits/party vs. the King–Saia `√n` baseline, wall time,
-//!   and peak RSS, emitted as `BENCH_8.json` (see [`scale`]);
+//!   lazy keygen, bits/party vs. the King–Saia `√n` baseline (anchored by
+//!   measured runs at n ∈ {64, 256, 1024}), wall time, and peak RSS,
+//!   emitted as `BENCH_8.json` (see [`scale`]);
+//! * **the pipelined BA-as-a-service throughput grid**
+//!   (`cargo run -p pba-bench --bin pipeline --release [-- --smoke]`) —
+//!   decisions/sec of one establishment streaming `k` chained instances
+//!   vs. `k` independent full runs, with the setup-amortization ratio and
+//!   the rounds hidden by certification chaining, emitted as
+//!   `BENCH_9.json` (see [`pipeline`]);
 //! * criterion micro/macro benches under `benches/`.
 
 pub mod chaos;
 pub mod hash_perf;
 pub mod perf;
+pub mod pipeline;
 pub mod scale;
 pub mod socket;
 

@@ -1,0 +1,308 @@
+//! Pipelined BA-as-a-service throughput (§E-pipeline).
+//!
+//! Measures what the [`Service`]/instance split buys: one establishment
+//! (tree + CSR layout, MSS capacity keys, CRS, peer state) serving a
+//! stream of `k` BA instances, against `k` fully independent runs that
+//! each pay establishment again. Per `(n, k)` cell the harness records
+//! wall time, decisions/sec (decisions per wall-clock second *including*
+//! setup — the number an operator of a BA service actually sees), the
+//! amortized speedup, and how many deferred-certification rounds the
+//! Fast-HotStuff-style chaining hid inside successor committee phases.
+//! The binary (`cargo run -p pba-bench --bin pipeline --release`)
+//! renders the result as `BENCH_9.json`.
+//!
+//! `--smoke` restricts the grid to `n = 64, k ∈ {1, 4}` for the CI
+//! `pipeline-smoke` job. All timings are measured, never synthesized;
+//! the ≥ 2× amortization target is only asserted on the full grid's
+//! `n = 1024, k = 16` cell, where establishment dominance makes it
+//! physically meaningful.
+
+use pba_core::protocol::{BaConfig, Service, StreamMode, StreamOutcome};
+use pba_srds::snark::{SnarkSrds, SnarkSrdsConfig};
+use std::time::Instant;
+
+/// Parameters of one pipeline sweep.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Party counts to run.
+    pub sizes: Vec<usize>,
+    /// Stream lengths (`k` = instances per service).
+    pub streams: Vec<usize>,
+}
+
+impl PipelineConfig {
+    /// The full grid of ISSUE 9: k ∈ {1, 4, 16} × n ∈ {64, 256, 1024}.
+    pub fn full() -> Self {
+        PipelineConfig {
+            sizes: vec![64, 256, 1024],
+            streams: vec![1, 4, 16],
+        }
+    }
+
+    /// CI smoke variant: n = 64, k ∈ {1, 4}.
+    pub fn smoke() -> Self {
+        PipelineConfig {
+            sizes: vec![64],
+            streams: vec![1, 4],
+        }
+    }
+}
+
+/// One measured `(n, k)` cell.
+#[derive(Clone, Debug)]
+pub struct PipelineCell {
+    /// Number of parties.
+    pub n: usize,
+    /// Instances streamed through one service.
+    pub k: usize,
+    /// Wall milliseconds of the one-time establishment.
+    pub setup_ms: f64,
+    /// Wall milliseconds of the pipelined stream after establishment.
+    pub stream_ms: f64,
+    /// Establishment + stream: the streamed service end to end.
+    pub streamed_total_ms: f64,
+    /// `k` independent full runs (each pays establishment again).
+    pub independent_total_ms: f64,
+    /// Decisions per second of the streamed service, setup included.
+    pub streamed_decisions_per_sec: f64,
+    /// Decisions per second of the independent runs.
+    pub independent_decisions_per_sec: f64,
+    /// `independent_total_ms / streamed_total_ms` — the headline
+    /// setup-amortization ratio.
+    pub amortized_speedup: f64,
+    /// Clock rounds the streamed service consumed (excludes setup).
+    pub streamed_rounds: u64,
+    /// Deferred-certification rounds hidden inside successor committee
+    /// phases by the pipelined chaining.
+    pub overlapped_rounds: u64,
+    /// Certificate-cache hits on entries born in an *earlier* instance —
+    /// cross-instance reuse the independent runs can never have.
+    pub warm_cache_hits: u64,
+}
+
+/// The full report rendered into `BENCH_9.json`.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Whether this was the `--smoke` variant.
+    pub smoke: bool,
+    /// All measured cells.
+    pub cells: Vec<PipelineCell>,
+}
+
+impl PipelineReport {
+    /// Hand-rolled JSON (no serde in the tree — same convention as
+    /// [`pba_net::Report::to_json`]).
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    concat!(
+                        "{{\"n\":{},\"k\":{},\"setup_ms\":{:.2},",
+                        "\"stream_ms\":{:.2},\"streamed_total_ms\":{:.2},",
+                        "\"independent_total_ms\":{:.2},",
+                        "\"streamed_decisions_per_sec\":{:.2},",
+                        "\"independent_decisions_per_sec\":{:.2},",
+                        "\"amortized_speedup\":{:.3},",
+                        "\"streamed_rounds\":{},\"overlapped_rounds\":{},",
+                        "\"warm_cache_hits\":{}}}"
+                    ),
+                    c.n,
+                    c.k,
+                    c.setup_ms,
+                    c.stream_ms,
+                    c.streamed_total_ms,
+                    c.independent_total_ms,
+                    c.streamed_decisions_per_sec,
+                    c.independent_decisions_per_sec,
+                    c.amortized_speedup,
+                    c.streamed_rounds,
+                    c.overlapped_rounds,
+                    c.warm_cache_hits,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"pipelined-ba-service\",\"smoke\":{},\"cells\":[{}]}}",
+            self.smoke,
+            cells.join(","),
+        )
+    }
+}
+
+/// The bench scheme for a `k`-instance stream: the MSS tree must hold at
+/// least `k` one-time epoch slots, so the height is `⌈log₂ k⌉` (min 1).
+fn bench_scheme(k: usize) -> SnarkSrds {
+    let mss_height = usize::max(1, k.next_power_of_two().trailing_zeros() as usize);
+    SnarkSrds::new(SnarkSrdsConfig {
+        mss_bits: 32,
+        mss_height,
+    })
+}
+
+/// Eager keygen: the one-time MSS key material is genuinely paid at
+/// establishment — exactly the cost the Service amortizes across the
+/// stream (a Lazy policy would smear it into every signature and hide
+/// the thing being measured).
+fn bench_config(n: usize) -> BaConfig {
+    BaConfig::honest(n, b"pipeline-bench")
+}
+
+fn assert_all_decided(out: &StreamOutcome, k: usize, what: &str) {
+    assert_eq!(
+        out.decisions, k,
+        "{what}: {} of {k} instances decided",
+        out.decisions
+    );
+    for inst in &out.instances {
+        let mv = inst
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{what}: instance {} failed: {e}", inst.index));
+        assert!(mv.agreement && mv.validity, "{what}: verdicts degraded");
+    }
+}
+
+/// Measures one `(n, k)` cell: one service streaming `k` pipelined
+/// instances vs. `k` independent establish-and-run executions.
+pub fn run_cell(n: usize, k: usize) -> PipelineCell {
+    let instances: Vec<Vec<Vec<u8>>> = vec![vec![vec![1u8]; n]; k];
+
+    // One establishment, k pipelined instances.
+    let scheme = bench_scheme(k);
+    let config = bench_config(n);
+    let setup_start = Instant::now();
+    let mut service = Service::try_establish(&scheme, &config).expect("establishment");
+    let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+    let stream_start = Instant::now();
+    let out = service.try_run_stream(&instances, StreamMode::Pipelined);
+    let stream_ms = stream_start.elapsed().as_secs_f64() * 1e3;
+    assert_all_decided(&out, k, "streamed");
+    let warm_cache_hits = service
+        .instance_reports()
+        .iter()
+        .filter_map(|r| r.cache.as_ref())
+        .map(|c| c.warm_hits)
+        .sum();
+    let streamed_total_ms = setup_ms + stream_ms;
+
+    // k independent full runs of the *same deployment*: identical scheme
+    // config and key policy, but a fresh scheme instance (cold caches)
+    // and a fresh establishment every time — the baseline an operator
+    // without the Service split actually pays.
+    let independent_start = Instant::now();
+    for _ in 0..k {
+        let scheme = bench_scheme(k);
+        let mut service = Service::try_establish(&scheme, &config).expect("establishment");
+        let one = service.try_run_stream(&instances[..1], StreamMode::Sequential);
+        assert_all_decided(&one, 1, "independent");
+    }
+    let independent_total_ms = independent_start.elapsed().as_secs_f64() * 1e3;
+
+    PipelineCell {
+        n,
+        k,
+        setup_ms,
+        stream_ms,
+        streamed_total_ms,
+        independent_total_ms,
+        streamed_decisions_per_sec: k as f64 / (streamed_total_ms / 1e3),
+        independent_decisions_per_sec: k as f64 / (independent_total_ms / 1e3),
+        amortized_speedup: independent_total_ms / streamed_total_ms,
+        streamed_rounds: out.total_rounds,
+        overlapped_rounds: out.overlapped_rounds,
+        warm_cache_hits,
+    }
+}
+
+/// Runs the grid.
+///
+/// # Panics
+///
+/// Panics when any instance fails to decide, or when a `k > 1` stream
+/// shows no cross-instance reuse (zero warm cache hits or zero
+/// overlapped rounds — the pipelining would be decorative).
+pub fn run_pipeline(config: &PipelineConfig, smoke: bool) -> PipelineReport {
+    let mut cells = Vec::new();
+    for &n in &config.sizes {
+        for &k in &config.streams {
+            let cell = run_cell(n, k);
+            eprintln!(
+                "pipeline: n={:<5} k={:<3} streamed {:>8.1}ms ({:>7.2} dec/s) \
+                 vs independent {:>8.1}ms ({:>7.2} dec/s)  x{:.2}  \
+                 overlapped {} rounds, warm hits {}",
+                cell.n,
+                cell.k,
+                cell.streamed_total_ms,
+                cell.streamed_decisions_per_sec,
+                cell.independent_total_ms,
+                cell.independent_decisions_per_sec,
+                cell.amortized_speedup,
+                cell.overlapped_rounds,
+                cell.warm_cache_hits,
+            );
+            if k > 1 {
+                assert!(
+                    cell.overlapped_rounds > 0,
+                    "n={n} k={k}: pipelining hid no rounds"
+                );
+                assert!(
+                    cell.warm_cache_hits > 0,
+                    "n={n} k={k}: no cross-instance certificate-cache reuse"
+                );
+            }
+            cells.push(cell);
+        }
+    }
+    PipelineReport { smoke, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cell_amortizes_setup() {
+        let cell = run_cell(64, 4);
+        assert_eq!(cell.k, 4);
+        assert!(cell.streamed_decisions_per_sec > 0.0);
+        assert!(cell.overlapped_rounds > 0, "pipelining hid no rounds");
+        assert!(cell.warm_cache_hits > 0, "no cross-instance cache reuse");
+        // One setup amortized over 4 instances must beat 4 setups. The
+        // margin is left loose: CI hosts are noisy; BENCH_9.json records
+        // the measured ratio.
+        assert!(
+            cell.amortized_speedup > 1.0,
+            "streaming slower than independent runs (x{:.2})",
+            cell.amortized_speedup
+        );
+    }
+
+    #[test]
+    fn report_renders_json() {
+        let report = PipelineReport {
+            smoke: true,
+            cells: vec![run_cell(64, 1)],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\":\"pipelined-ba-service\""));
+        assert!(json.contains("\"amortized_speedup\""));
+        assert!(json.contains("\"n\":64,\"k\":1"));
+    }
+
+    #[test]
+    fn scheme_capacity_covers_the_stream() {
+        for k in [1usize, 4, 16] {
+            let scheme = bench_scheme(k);
+            let config = bench_config(64);
+            let service = Service::try_establish(&scheme, &config).expect("establishment");
+            let budget = service.budget().expect("snark scheme has a budget");
+            assert!(
+                budget.capacity() >= k as u64,
+                "k={k}: capacity {} too small",
+                budget.capacity()
+            );
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //! RSS budget at the top size — the memory regression gate of the CI
 //! `scale-smoke` job: a reintroduced dense per-party table or an eager
 //! keygen pass blows the budget long before it reaches 2^20.
+//!
+//! The √n column is anchored by *measurement*, not by formula: the
+//! King–Saia boost actually runs at n ∈ {64, 256, 1024} and the measured
+//! bits/party of each anchor land in the JSON (`sqrt_anchors`), so the
+//! ~0.5 growth exponent of the baseline is itself a measured quantity;
+//! only sizes above the largest anchor are extrapolated by `√(n/n₀)`.
 
 use pba_core::baselines::sqrt_sampling_boost;
 use pba_core::protocol::{BaConfig, KeyPolicy, Session};
@@ -78,12 +84,25 @@ pub struct ScaleCase {
     pub sqrt_baseline_bits: u64,
 }
 
+/// One *measured* King–Saia √n-sampling anchor: the boost protocol
+/// actually ran at this size and this is what an honest party paid.
+#[derive(Clone, Copy, Debug)]
+pub struct SqrtAnchor {
+    /// Party count the baseline ran at.
+    pub n: usize,
+    /// Measured max bits per party.
+    pub bits_per_party: u64,
+}
+
 /// The full scaling report rendered into `BENCH_8.json`.
 #[derive(Clone, Debug)]
 pub struct ScaleReport {
     /// Whether this was the `--smoke` variant.
     pub smoke: bool,
-    /// Measured √n-baseline bits/party at the anchor size `n₀ = 2^10`.
+    /// Measured √n anchors at n ∈ {64, 256, 1024} (ascending).
+    pub sqrt_anchors: Vec<SqrtAnchor>,
+    /// Measured √n-baseline bits/party at the anchor size `n₀ = 2^10`
+    /// (the last entry of [`Self::sqrt_anchors`]).
     pub anchor_sqrt_bits: u64,
     /// All measured sizes.
     pub cases: Vec<ScaleCase>,
@@ -122,16 +141,23 @@ impl ScaleReport {
                 )
             })
             .collect();
+        let anchors: Vec<String> = self
+            .sqrt_anchors
+            .iter()
+            .map(|a| format!("{{\"n\":{},\"bits_per_party\":{}}}", a.n, a.bits_per_party))
+            .collect();
         format!(
             concat!(
                 "{{\"bench\":\"million-party-scaling\",",
                 "\"smoke\":{},",
+                "\"sqrt_anchors\":[{}],",
                 "\"anchor_sqrt_bits\":{},",
                 "\"polylog_fit\":{{\"k\":{:.4},\"r2\":{:.4}}},",
                 "\"power_fit\":{{\"alpha\":{:.4},\"r2\":{:.4}}},",
                 "\"cases\":[{}]}}"
             ),
             self.smoke,
+            anchors.join(","),
             self.anchor_sqrt_bits,
             self.polylog_fit.0,
             self.polylog_fit.1,
@@ -163,8 +189,31 @@ pub fn peak_rss_mib() -> f64 {
     0.0
 }
 
-/// Anchor size for the √n baseline column.
+/// Anchor size for the √n baseline column (the largest measured anchor).
 const SQRT_ANCHOR_N: usize = 1 << 10;
+
+/// Sizes the King–Saia baseline is actually *run* at.
+const SQRT_ANCHOR_SIZES: [usize; 3] = [64, 256, SQRT_ANCHOR_N];
+
+/// Runs the King–Saia √n-sampling boost at each anchor size and records
+/// the measured max bits/party.
+pub fn measure_sqrt_anchors() -> Vec<SqrtAnchor> {
+    SQRT_ANCHOR_SIZES
+        .iter()
+        .map(|&n| {
+            let t = pba_net::corruption::max_corruptions(n, crate::BETA);
+            let ks = sqrt_sampling_boost(n, t, 0.05, 3.0, b"scale-ks-anchor");
+            assert!(
+                ks.correct_fraction > 0.98,
+                "sqrt-sampling anchor failed at n={n}"
+            );
+            SqrtAnchor {
+                n,
+                bits_per_party: ks.report.max_bytes_per_party * 8,
+            }
+        })
+        .collect()
+}
 
 /// Runs one honest `π_ba` case at size `n` and measures it.
 fn run_case(n: usize, anchor_sqrt_bits: u64) -> ScaleCase {
@@ -207,13 +256,17 @@ fn run_case(n: usize, anchor_sqrt_bits: u64) -> ScaleCase {
 /// budget armed — when the process peak RSS after the largest size
 /// exceeds it (the memory regression gate).
 pub fn run_scale(config: &ScaleConfig, smoke: bool) -> ScaleReport {
-    let t0 = pba_net::corruption::max_corruptions(SQRT_ANCHOR_N, crate::BETA);
-    let ks = sqrt_sampling_boost(SQRT_ANCHOR_N, t0, 0.05, 3.0, b"scale-ks-anchor");
-    assert!(
-        ks.correct_fraction > 0.98,
-        "sqrt-sampling anchor failed at n={SQRT_ANCHOR_N}"
-    );
-    let anchor_sqrt_bits = ks.report.max_bytes_per_party * 8;
+    let sqrt_anchors = measure_sqrt_anchors();
+    for a in &sqrt_anchors {
+        eprintln!(
+            "scale: sqrt-anchor n={:<5} measured {:>9} bits/party",
+            a.n, a.bits_per_party
+        );
+    }
+    let anchor_sqrt_bits = sqrt_anchors
+        .last()
+        .expect("at least one anchor")
+        .bits_per_party;
 
     let mut cases = Vec::new();
     for &n in &config.sizes {
@@ -249,6 +302,7 @@ pub fn run_scale(config: &ScaleConfig, smoke: bool) -> ScaleReport {
         .collect();
     ScaleReport {
         smoke,
+        sqrt_anchors,
         anchor_sqrt_bits,
         polylog_fit: crate::polylog_fit(&points),
         power_fit: crate::power_fit(&points),
@@ -276,6 +330,10 @@ mod tests {
     fn report_renders_json() {
         let report = ScaleReport {
             smoke: true,
+            sqrt_anchors: vec![SqrtAnchor {
+                n: 64,
+                bits_per_party: 512,
+            }],
             anchor_sqrt_bits: 8,
             cases: vec![],
             polylog_fit: (2.0, 0.99),
@@ -284,6 +342,25 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\":\"million-party-scaling\""));
         assert!(json.contains("\"polylog_fit\""));
+        assert!(json.contains("\"sqrt_anchors\":[{\"n\":64,\"bits_per_party\":512}]"));
+    }
+
+    #[test]
+    fn measured_anchors_grow_like_sqrt() {
+        let anchors = measure_sqrt_anchors();
+        assert_eq!(
+            anchors.iter().map(|a| a.n).collect::<Vec<_>>(),
+            vec![64, 256, 1024]
+        );
+        let points: Vec<(usize, u64)> = anchors
+            .iter()
+            .map(|a| (a.n, a.bits_per_party / 8))
+            .collect();
+        let (alpha, _) = crate::power_fit(&points);
+        assert!(
+            (0.25..=0.75).contains(&alpha),
+            "measured King-Saia growth exponent {alpha:.3} strayed from ~0.5"
+        );
     }
 
     #[test]

@@ -18,9 +18,15 @@
 //!
 //! All communication — real envelopes or metered functionality calls — is
 //! charged through [`pba_net::metrics`], which is what the Table 1 harness
-//! measures. The execution is factored into a reusable [`Session`]
-//! (establishment happens once; [`Session::certified_round`] can run many
-//! times), which is what the broadcast corollary builds on.
+//! measures. The execution is factored into a long-lived [`Service`]
+//! (establishment happens once: tree, keys, CRS, peer state) and
+//! per-agreement [`Instance`]s that borrow it — each instance draws one
+//! slot of the establishment's one-time signing budget and the certificate
+//! cache stays warm across instances. [`Service::try_run_stream`] runs
+//! many instances over one establishment (sequentially or pipelined in the
+//! Fast-HotStuff chaining shape), which is what the broadcast corollary
+//! and the decisions/sec benchmark build on. `Session` remains as an
+//! alias for the service type.
 
 use crate::aggr::{charge_aggr_round, f_aggr_sig_uniform};
 use crate::phase_king::{rounds_for, PhaseKing, PkMsg};
@@ -28,17 +34,21 @@ use crate::vss_coin::toss_coin_vss_driven;
 use pba_aetree::analysis::{adaptive_targets, TreeAnalysis};
 use pba_aetree::fae::{charge_establishment, constant_adversary, disseminate, honest_adversary};
 use pba_aetree::params::TreeParams;
-use pba_aetree::robust::{ascend, dedup_committee, robust_input_fanin};
+use pba_aetree::robust::{ascend, dedup_committee, robust_input_fanin, robust_input_fanin_with};
 use pba_aetree::tree::Tree;
 use pba_crypto::codec::{decode_from_slice, encode_to_vec, CodecError, Decode, Encode, Reader};
+use pba_crypto::mss::LeafBudget;
 use pba_crypto::prf::SubsetPrf;
 use pba_crypto::prg::Prg;
 use pba_crypto::sha256::Digest;
 use pba_net::corruption::CorruptionPlan;
 use pba_net::faults::StrategySpec;
-use pba_net::runner::{run_phase_driven, AdvSender, Adversary, RoundDriver};
+use pba_net::runner::{
+    run_phase_driven, run_phase_overlapped, AdvSender, Adversary, PhaseOutcome, RoundDriver,
+};
 use pba_net::wire::{self, step, tag};
 use pba_net::{Envelope, Machine, Network, PartyId, Report, TagBreakdown, Transport, WireMsg};
+use pba_srds::cache::CacheStats;
 use pba_srds::traits::Srds;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -94,23 +104,40 @@ pub enum KeyPolicy {
     Sampled,
 }
 
-/// Structured error for touching signing-key material the session's
-/// [`KeyPolicy`] declined to instantiate (Sampled off-path parties).
+/// Structured error for signing-key material the service cannot provide:
+/// a party whose keys the [`KeyPolicy`] declined to instantiate, or an
+/// instance the establishment's one-time signing capacity cannot cover.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct KeyError {
-    /// The party whose keys were requested.
-    pub party: PartyId,
-    /// The per-party key occurrence index requested.
-    pub key_index: usize,
+pub enum KeyError {
+    /// The Sampled policy left this party's keys unmaterialized.
+    NotInstantiated {
+        /// The party whose keys were requested.
+        party: PartyId,
+        /// The per-party key occurrence index requested.
+        key_index: usize,
+    },
+    /// The establishment's one-time signing budget (the MSS leaf
+    /// capacity, one epoch slot per agreement instance) is spent.
+    BudgetExhausted {
+        /// The instance that requested a slot.
+        instance: u64,
+        /// The establishment's total one-time signing capacity.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for KeyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "signing key {} of party {} is not instantiated under the Sampled key policy",
-            self.key_index, self.party
-        )
+        match self {
+            KeyError::NotInstantiated { party, key_index } => write!(
+                f,
+                "signing key {key_index} of party {party} is not instantiated under the Sampled key policy"
+            ),
+            KeyError::BudgetExhausted { instance, capacity } => write!(
+                f,
+                "instance {instance} exceeds the establishment's one-time signing budget of {capacity} epoch slot(s)"
+            ),
+        }
     }
 }
 
@@ -364,6 +391,14 @@ pub enum ProtocolError {
         /// The recorded transport failure.
         error: pba_net::TransportError,
     },
+    /// Another instance would overdraw the establishment's one-time
+    /// signing material (MSS leaf capacity). The service stays usable for
+    /// inspection; agreeing again requires a fresh establishment.
+    KeyBudget {
+        /// The structured key error ([`KeyError::BudgetExhausted`],
+        /// naming the refused instance).
+        error: KeyError,
+    },
 }
 
 impl ProtocolError {
@@ -375,6 +410,7 @@ impl ProtocolError {
             ProtocolError::Disagreement { phase, .. } => *phase,
             ProtocolError::Stalled { phase, .. } => *phase,
             ProtocolError::Transport { phase, .. } => *phase,
+            ProtocolError::KeyBudget { .. } => ProtocolPhase::Certification,
         }
     }
 }
@@ -403,6 +439,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Transport { phase, error } => {
                 write!(f, "{phase} aborted by transport failure: {error}")
+            }
+            ProtocolError::KeyBudget { error } => {
+                write!(f, "certification refused: {error}")
             }
         }
     }
@@ -498,6 +537,123 @@ pub struct BytesRoundOutcome {
     pub outputs: Vec<Option<Vec<u8>>>,
     /// Size of the certificate, if one was produced.
     pub certificate_len: Option<usize>,
+}
+
+/// How [`Service::try_run_stream`] schedules consecutive instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Instances run back-to-back: instance `i` certifies and spreads
+    /// before instance `i+1` starts. The first instance of a sequential
+    /// stream is transcript-identical to a single-shot [`try_run_ba`] at
+    /// the same `(seed, config)`.
+    Sequential,
+    /// Fast-HotStuff-style chaining: instance `i`'s certification
+    /// (steps 3–8) is deferred into instance `i+1`'s committee phase and
+    /// its rounds are absorbed by the concurrently-running committee
+    /// rounds ([`pba_net::runner::run_phase_overlapped`]). Pipelining
+    /// hides round latency, never bytes — every charge lands in full.
+    Pipelined,
+}
+
+/// The multi-value fan-in payload: one party's ℓ-byte input ascending the
+/// tree toward the supreme committee as a whole framed value
+/// ([`Service::robust_committee_values`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MvInput {
+    /// Instance (service epoch) the input belongs to.
+    pub epoch: u64,
+    /// The party's input value.
+    pub value: Vec<u8>,
+}
+
+impl Encode for MvInput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.value.encode(buf);
+    }
+}
+
+impl Decode for MvInput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MvInput {
+            epoch: u64::decode(r)?,
+            value: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for MvInput {
+    const TAG: u8 = tag::MV_INPUT;
+    const STEP: u8 = step::NONE;
+}
+
+/// Per-instance slice of a [`Service`]'s cumulative accounting: deltas of
+/// the honest byte totals, the round clock, the step snapshots, and the
+/// scheme's certificate-cache counters, taken between the instance's
+/// open and its settlement.
+#[derive(Clone, Debug)]
+pub struct InstanceReport {
+    /// The instance's index (the service epoch it ran as).
+    pub index: u64,
+    /// Honest bytes charged during the instance.
+    pub total_bytes: u64,
+    /// Clock rounds consumed by the instance. Under pipelining, the
+    /// uncovered remainder of a predecessor's deferred certification is
+    /// charged to the successor's window.
+    pub rounds: u64,
+    /// Rounds the instance's deferred certification ran under the overlap
+    /// window (0 when not pipelined).
+    pub overlapped_rounds: u64,
+    /// Step snapshots recorded during the instance.
+    pub steps: Vec<StepReport>,
+    /// Certificate-cache counter deltas, when the scheme exposes them.
+    pub cache: Option<CacheStats>,
+    /// The delivery-transcript digest after the instance settled (only
+    /// when a transport is attached): chained, so instance `k`'s digest
+    /// commits the whole stream through instance `k`.
+    pub transcript_digest: Option<Digest>,
+}
+
+/// Verdicts of one streamed instance over an ℓ-byte value.
+#[derive(Clone, Debug)]
+pub struct MultiValueOutcome {
+    /// The value the supreme committee agreed on and certified.
+    pub value: Vec<u8>,
+    /// Per-party received values (`None` = no verified certificate).
+    pub outputs: Vec<Option<Vec<u8>>>,
+    /// Whether every honest party received the same value.
+    pub agreement: bool,
+    /// Whether validity held (unanimous honest inputs forced the value).
+    pub validity: bool,
+    /// Size of the certificate, if one was produced.
+    pub certificate_len: Option<usize>,
+}
+
+/// One instance of a stream: verdicts or a structured failure, plus the
+/// instance-scoped accounting slice.
+#[derive(Clone, Debug)]
+pub struct InstanceOutcome {
+    /// The instance's index.
+    pub index: u64,
+    /// Verdicts, or the structured reason the instance failed.
+    pub result: Result<MultiValueOutcome, ProtocolError>,
+    /// The instance's accounting slice.
+    pub report: InstanceReport,
+}
+
+/// Outcome of [`Service::try_run_stream`]: every instance in order, plus
+/// stream-level round accounting.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// Per-instance outcomes, in execution order.
+    pub instances: Vec<InstanceOutcome>,
+    /// Instances whose honest parties all agreed.
+    pub decisions: usize,
+    /// Clock rounds the whole stream consumed (excludes establishment).
+    pub total_rounds: u64,
+    /// Certification rounds hidden inside successor committee phases by
+    /// pipelining (0 for sequential streams).
+    pub overlapped_rounds: u64,
 }
 
 /// The step-3 dissemination payload: the agreed value and coin seed,
@@ -627,13 +783,19 @@ impl Adversary for SilentCommittee {
     fn on_round(&mut self, _: u64, _: &BTreeMap<PartyId, Vec<Envelope>>, _: &mut AdvSender<'_>) {}
 }
 
-/// An established `π_ba` session: setup, PKI, tree, and the metered network.
+/// An established `π_ba` service: everything establishment builds once —
+/// SRDS setup, per-virtual-identity keys, the `f_ae-comm` tree with its
+/// CSR layout, corruption state, and the metered network.
 ///
-/// One session supports many [`Session::certified_round`]s — the
-/// amortization behind the broadcast corollary (Cor. 1.2(1)).
-pub struct Session<'a, S: Srds> {
+/// One service supports many agreement [`Instance`]s (or legacy
+/// [`Service::certified_round`]s) — the amortization behind the broadcast
+/// corollary (Cor. 1.2(1)) and the decisions/sec benchmark. Each instance
+/// draws one slot of the establishment's one-time signing budget
+/// ([`Service::budget`]); overdrawing is the structured
+/// [`ProtocolError::KeyBudget`], never a silent key reuse.
+pub struct Service<'a, S: Srds> {
     scheme: &'a S,
-    /// The configuration the session was established with.
+    /// The configuration the service was established with.
     pub config: BaConfig,
     params: TreeParams,
     pp: S::PublicParams,
@@ -650,9 +812,20 @@ pub struct Session<'a, S: Srds> {
     prg: Prg,
     steps: Vec<StepReport>,
     epoch: u64,
+    /// One-time signing capacity, when the scheme's is bounded (MSS).
+    budget: Option<LeafBudget>,
+    /// The most recent instance's encoded [`Certificate`], kept for
+    /// Fast-HotStuff-style chained validation by the next instance.
+    last_certificate: Option<Vec<u8>>,
+    /// Per-instance accounting slices, aggregated at the service level.
+    instance_reports: Vec<InstanceReport>,
 }
 
-impl<'a, S> Session<'a, S>
+/// The pre-split name of [`Service`]: one establishment serving many
+/// certified rounds. Kept as an alias so existing call sites read on.
+pub type Session<'a, S> = Service<'a, S>;
+
+impl<'a, S> Service<'a, S>
 where
     S: Srds,
     S::Signature: Encode + Decode,
@@ -858,7 +1031,8 @@ where
             },
         };
 
-        let mut session = Session {
+        let budget = scheme.epoch_capacity(&pp).map(LeafBudget::new);
+        let mut session = Service {
             scheme,
             config: config.clone(),
             params,
@@ -874,6 +1048,9 @@ where
             prg,
             steps: Vec::new(),
             epoch: 0,
+            budget,
+            last_certificate: None,
+            instance_reports: Vec::new(),
         };
         session.snap("1:ae-comm-establish");
         Ok(session)
@@ -946,7 +1123,7 @@ where
             KeyStore::Lazy { instantiable } => {
                 if let Some(mask) = instantiable {
                     if !mask[party.index()] {
-                        return Err(KeyError {
+                        return Err(KeyError::NotInstantiated {
                             party,
                             key_index: j,
                         });
@@ -1082,6 +1259,16 @@ where
                 self.config.threads.max(1),
             )
         };
+        self.ba_phase_verdict(outcome, &machines)
+    }
+
+    /// Maps a committee-BA phase outcome to the agreed value or its
+    /// structured failure (shared by the plain and chained variants).
+    fn ba_phase_verdict(
+        &self,
+        outcome: PhaseOutcome,
+        machines: &BTreeMap<PartyId, PhaseKing<u8>>,
+    ) -> Result<u8, ProtocolError> {
         if !outcome.completed {
             if let Some(e) = self.transport_failure(ProtocolPhase::CommitteeBa) {
                 return Err(e);
@@ -1102,6 +1289,92 @@ where
             });
         }
         Ok(*values.iter().next().expect("nonempty"))
+    }
+
+    /// Step 2a under the pipelined driver: while the committee machines
+    /// run, each machine round's slack validates the previous instance's
+    /// certificate for one more honest supreme-committee member — the
+    /// Fast-HotStuff chaining shape, where validators check the parent
+    /// quorum certificate while voting on the child. Validation is
+    /// compute-only (an already-delivered payload is re-verified; no
+    /// envelopes, no charges), so transcript and metrics are identical to
+    /// [`Service::try_committee_ba`]; its observable effect is the
+    /// scheme's certificate cache staying warm across instances. Members
+    /// the phase's rounds did not cover validate inline afterwards.
+    fn try_committee_ba_chained(
+        &mut self,
+        committee_inputs: &BTreeMap<PartyId, u8>,
+    ) -> Result<u8, ProtocolError> {
+        let supreme = self.supreme_committee();
+        let mut adversary = self.committee_adversary(&supreme);
+        let mut machines: BTreeMap<PartyId, PhaseKing<u8>> = supreme
+            .iter()
+            .filter(|p| !self.corrupt.contains(p))
+            .map(|&p| {
+                let input = committee_inputs.get(&p).copied().unwrap_or(0);
+                (p, PhaseKing::new(supreme.clone(), p, input))
+            })
+            .collect();
+        let driver = self.round_driver();
+        let slack = self.round_slack();
+        // The chained certificate, decoded once; honest members still
+        // owing a validation, popped one per machine round.
+        let chain: Option<(Vec<u8>, S::Signature)> =
+            self.last_certificate.as_ref().and_then(|bytes| {
+                let cert = wire::decode_msg::<Certificate>(bytes).ok()?;
+                let sig: S::Signature = decode_from_slice(&cert.sig).ok()?;
+                let signed = wire::encode_msg(&ValueSeed {
+                    epoch: cert.epoch,
+                    value: cert.value,
+                    seed: cert.seed,
+                });
+                Some((signed, sig))
+            });
+        let mut validators: Vec<PartyId> = supreme
+            .iter()
+            .filter(|p| !self.corrupt.contains(p))
+            .copied()
+            .collect();
+        let scheme = self.scheme;
+        let pp = &self.pp;
+        let keyboard = &self.keyboard;
+        let outcome = {
+            let mut erased: BTreeMap<PartyId, Box<dyn Machine + Send + '_>> = machines
+                .iter_mut()
+                .map(|(&id, m)| (id, Box::new(m) as Box<dyn Machine + Send + '_>))
+                .collect();
+            let mut background = |_net: &mut Network, _round: u64| {
+                let Some((signed, sig)) = &chain else {
+                    return true;
+                };
+                match validators.pop() {
+                    Some(_member) => {
+                        // Every member performs the same verification; the
+                        // scheme's certificate cache collapses the repeats
+                        // into warm hits.
+                        let _ = scheme.verify(pp, keyboard, signed, sig);
+                        validators.is_empty()
+                    }
+                    None => true,
+                }
+            };
+            let (outcome, _absorbed) = run_phase_overlapped(
+                &mut self.net,
+                &mut erased,
+                adversary.as_mut(),
+                rounds_for(supreme.len()) + 6 + slack,
+                driver,
+                self.config.threads.max(1),
+                Some(&mut background),
+            );
+            outcome
+        };
+        if let Some((signed, sig)) = &chain {
+            for _member in validators.drain(..) {
+                let _ = scheme.verify(pp, keyboard, signed, sig);
+            }
+        }
+        self.ba_phase_verdict(outcome, &machines)
     }
 
     /// Step 2b: `f_ct` among the supreme committee.
@@ -1174,9 +1447,21 @@ where
     /// The byte-value core of steps 3–8, shared by bit agreement,
     /// multi-execution broadcast, and the MPC corollary: certify an
     /// arbitrary `value` the supreme committee already agreed on and
-    /// deliver it to everyone.
+    /// deliver it to everyone. Advances the service epoch.
     pub fn certify_bytes(&mut self, value: Vec<u8>, s: Digest) -> BytesRoundOutcome {
         let epoch = self.epoch;
+        let outcome = self.certify_bytes_at(epoch, value, s);
+        self.epoch += 1;
+        outcome
+    }
+
+    /// [`Service::certify_bytes`] pinned to an explicit epoch, without
+    /// advancing the service's own: the deferred-certification path of
+    /// pipelined streaming, where instance `i`'s steps 3–8 run after the
+    /// epoch has already moved on to instance `i+1`. Everything in here
+    /// keys off the `epoch` argument (dissemination payloads, signatures,
+    /// replay filters), never off `self.epoch`.
+    pub fn certify_bytes_at(&mut self, epoch: u64, value: Vec<u8>, s: Digest) -> BytesRoundOutcome {
         let n = self.config.n;
         let params = self.params;
 
@@ -1547,7 +1832,9 @@ where
             self.net.bump_round();
         }
         self.snap("7-8:prf-spread+output");
-        self.epoch += 1;
+        // Retain the encoded certificate for the next instance's chained
+        // validation (None when σ_root never formed — nothing to chain).
+        self.last_certificate = triple_payload;
 
         BytesRoundOutcome {
             value,
@@ -1556,26 +1843,56 @@ where
         }
     }
 
+    /// Reserves the current epoch's one-time signing slot against the
+    /// establishment's leaf budget. Schemes without a bounded epoch
+    /// capacity (sortition) carry no budget and always succeed; an epoch
+    /// whose slot is already reserved (an open [`Instance`], or a retry
+    /// after a failed committee phase) is a no-op.
+    fn reserve_epoch(&mut self) -> Result<(), ProtocolError> {
+        let Some(budget) = &mut self.budget else {
+            return Ok(());
+        };
+        if budget.consumed() > self.epoch {
+            return Ok(());
+        }
+        match budget.reserve(1) {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ProtocolError::KeyBudget {
+                error: KeyError::BudgetExhausted {
+                    instance: self.epoch,
+                    capacity: e.capacity,
+                },
+            }),
+        }
+    }
+
     /// One full certified round: `f_ba` + `f_ct` + certify-and-spread.
     ///
     /// # Panics
     ///
-    /// Panics if either committee sub-protocol fails; use
-    /// [`Session::try_certified_round`] for a fallible variant.
+    /// Panics if either committee sub-protocol fails or the signing
+    /// budget is spent; use [`Session::try_certified_round`] for a
+    /// fallible variant.
     pub fn certified_round(&mut self, committee_inputs: &BTreeMap<PartyId, u8>) -> RoundOutcome {
+        if let Err(e) = self.reserve_epoch() {
+            panic!("{e}");
+        }
         let y = self.committee_ba(committee_inputs);
         let s = self.committee_coin();
         self.snap("2:committee-ba+coin");
         self.certify_and_spread(y, s)
     }
 
-    /// Fallible certified round: any committee-phase failure is returned
-    /// as a [`ProtocolError`] instead of panicking, leaving the session
+    /// Fallible certified round: any committee-phase failure — including
+    /// an exhausted one-time signing budget
+    /// ([`ProtocolError::KeyBudget`]) — is returned as a
+    /// [`ProtocolError`] instead of panicking, leaving the session
     /// reusable (metrics intact, epoch advanced only on success).
     pub fn try_certified_round(
         &mut self,
         committee_inputs: &BTreeMap<PartyId, u8>,
     ) -> Result<RoundOutcome, ProtocolError> {
+        self.reserve_epoch()?;
         let y = self.try_committee_ba(committee_inputs)?;
         let s = self.try_committee_coin()?;
         self.snap("2:committee-ba+coin");
@@ -1604,6 +1921,563 @@ where
             .iter()
             .map(|&p| (p, ascended.unwrap_or(inputs[p.index()])))
             .collect()
+    }
+
+    /// Multi-value analogue of [`Service::robust_committee_inputs`]: each
+    /// party's ℓ-byte value rides the redundant-path ascent as a whole
+    /// (framed as [`MvInput`], charged under [`tag::MV_INPUT`]); whole
+    /// values are voted at every node, so an ascended winner is always
+    /// some party's actual input, never a byte-wise chimera. Supreme
+    /// committee members adopt the winner, falling back to their own
+    /// input when no strict majority formed.
+    pub fn robust_committee_values(&mut self, inputs: &[Vec<u8>]) -> BTreeMap<PartyId, Vec<u8>> {
+        assert_eq!(inputs.len(), self.config.n, "one input value per party");
+        let width = inputs.iter().map(Vec::len).max().unwrap_or(0);
+        let corrupt_value = match self.config.profile {
+            AdversaryProfile::Passive => None,
+            AdversaryProfile::Byzantine => Some(vec![0xaa; width]),
+        };
+        let corrupt = self.corrupt.clone();
+        let epoch = self.epoch;
+        let outcome = robust_input_fanin_with(
+            &mut self.net,
+            &self.tree,
+            &corrupt,
+            inputs,
+            corrupt_value,
+            |v: &Vec<u8>| {
+                wire::encode_msg(&MvInput {
+                    epoch,
+                    value: v.clone(),
+                })
+                .len()
+            },
+            tag::MV_INPUT,
+        );
+        let root_level = self.tree.height() - 1;
+        let ascended = outcome.honest_values[root_level][0].clone();
+        self.supreme_committee()
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    ascended
+                        .clone()
+                        .unwrap_or_else(|| inputs[p.index()].clone()),
+                )
+            })
+            .collect()
+    }
+
+    /// Multi-value `f_ba`: the supreme committee agrees on an ℓ-byte
+    /// value by per-byte composition — one phase-king instance per byte
+    /// position over the same committee (byte `0` runs chained under the
+    /// pipelined driver when a predecessor certificate is pending). A
+    /// leader-value design would trade these rounds for validation
+    /// complexity; composition keeps every byte under the same proven
+    /// agreement engine.
+    pub fn try_committee_ba_bytes(
+        &mut self,
+        committee_values: &BTreeMap<PartyId, Vec<u8>>,
+        width: usize,
+    ) -> Result<Vec<u8>, ProtocolError> {
+        let mut value = Vec::with_capacity(width);
+        for pos in 0..width {
+            let byte_inputs: BTreeMap<PartyId, u8> = committee_values
+                .iter()
+                .map(|(&p, v)| (p, v.get(pos).copied().unwrap_or(0)))
+                .collect();
+            let byte = if pos == 0 {
+                self.try_committee_ba_chained(&byte_inputs)?
+            } else {
+                self.try_committee_ba(&byte_inputs)?
+            };
+            value.push(byte);
+        }
+        Ok(value)
+    }
+
+    /// The honest parties' unanimous input value, when one exists — the
+    /// reference for the validity verdict.
+    fn unanimous_value(&self, inputs: &[Vec<u8>]) -> Option<Vec<u8>> {
+        let honest_inputs: BTreeSet<&Vec<u8>> =
+            self.honest.iter().map(|p| &inputs[p.index()]).collect();
+        (honest_inputs.len() == 1)
+            .then(|| (*honest_inputs.iter().next().expect("nonempty")).clone())
+    }
+
+    /// Agreement/validity/stall verdicts over one instance's outputs —
+    /// the multi-value mirror of the single-shot verdict logic.
+    fn judge_values(
+        &self,
+        unanimous_input: Option<Vec<u8>>,
+        round: BytesRoundOutcome,
+    ) -> Result<MultiValueOutcome, ProtocolError> {
+        let honest_outputs: Vec<Option<&Vec<u8>>> = self
+            .honest
+            .iter()
+            .map(|p| round.outputs[p.index()].as_ref())
+            .collect();
+        let delivered: BTreeSet<&Vec<u8>> = honest_outputs.iter().copied().flatten().collect();
+        if honest_outputs.iter().any(|o| o.is_none()) && delivered.len() <= 1 {
+            return Err(ProtocolError::Stalled {
+                phase: ProtocolPhase::Certification,
+                delivered: honest_outputs.iter().flatten().count(),
+                honest: honest_outputs.len(),
+            });
+        }
+        let agreement = honest_outputs.iter().all(|o| o.is_some())
+            && honest_outputs.windows(2).all(|w| w[0] == w[1]);
+        let output = if agreement {
+            honest_outputs.first().copied().flatten()
+        } else {
+            None
+        };
+        let validity = match &unanimous_input {
+            Some(v) => output == Some(v),
+            None => true,
+        };
+        Ok(MultiValueOutcome {
+            value: round.value,
+            outputs: round.outputs,
+            agreement,
+            validity,
+            certificate_len: round.certificate_len,
+        })
+    }
+
+    /// Honest bytes sent so far (the cumulative figure step snapshots and
+    /// instance baselines are deltas of).
+    fn honest_bytes_sent(&self) -> u64 {
+        self.honest
+            .iter()
+            .map(|&p| self.net.metrics().party(p).bytes_sent)
+            .sum()
+    }
+
+    /// Captures the cumulative counters an instance's report will later
+    /// be a delta of.
+    fn instance_baseline(&self) -> InstanceBaseline {
+        InstanceBaseline {
+            index: self.epoch,
+            bytes: self.honest_bytes_sent(),
+            rounds: self.net.metrics().rounds(),
+            steps_len: self.steps.len(),
+            cache: self.scheme.cache_stats(),
+        }
+    }
+
+    /// Settles an instance: computes its accounting slice against the
+    /// baseline and records it at the service level.
+    fn finish_instance(
+        &mut self,
+        baseline: InstanceBaseline,
+        overlapped_rounds: u64,
+    ) -> InstanceReport {
+        let cache = match (self.scheme.cache_stats(), baseline.cache) {
+            (Some(now), Some(then)) => Some(CacheStats {
+                hits: now.hits - then.hits,
+                misses: now.misses - then.misses,
+                warm_hits: now.warm_hits - then.warm_hits,
+            }),
+            _ => None,
+        };
+        let report = InstanceReport {
+            index: baseline.index,
+            total_bytes: self.honest_bytes_sent() - baseline.bytes,
+            rounds: self.net.metrics().rounds() - baseline.rounds,
+            overlapped_rounds,
+            steps: self.steps[baseline.steps_len..].to_vec(),
+            cache,
+            transcript_digest: self.net.transcript().and_then(|t| t.last().copied()),
+        };
+        self.instance_reports.push(report.clone());
+        report
+    }
+
+    /// Inline chained validation of the previous instance's certificate:
+    /// every honest supreme-committee member re-verifies it (the scheme's
+    /// certificate cache collapses the repeats into warm hits). Used by
+    /// sequentially-driven instances; the pipelined driver spreads the
+    /// same validations across the successor's committee rounds instead
+    /// ([`Service::try_committee_ba_chained`]). Returns the number of
+    /// member-validations that accepted.
+    pub fn validate_chained_certificate(&self) -> usize {
+        let Some(bytes) = &self.last_certificate else {
+            return 0;
+        };
+        let Ok(cert) = wire::decode_msg::<Certificate>(bytes) else {
+            return 0;
+        };
+        let Ok(sig) = decode_from_slice::<S::Signature>(&cert.sig) else {
+            return 0;
+        };
+        let signed = wire::encode_msg(&ValueSeed {
+            epoch: cert.epoch,
+            value: cert.value,
+            seed: cert.seed,
+        });
+        self.supreme_committee()
+            .iter()
+            .filter(|p| !self.corrupt.contains(p))
+            .filter(|_| self.scheme.verify(&self.pp, &self.keyboard, &signed, &sig))
+            .count()
+    }
+
+    /// Opens the next agreement instance on this service: reserves one
+    /// slot of the establishment's one-time signing budget (structured
+    /// [`ProtocolError::KeyBudget`] when spent — never a panic, and the
+    /// service stays usable for inspection), advances the scheme's
+    /// certificate-cache generation, and chain-validates the previous
+    /// instance's certificate.
+    pub fn begin_instance(&mut self) -> Result<Instance<'_, 'a, S>, ProtocolError> {
+        let baseline = self.instance_baseline();
+        self.reserve_epoch()?;
+        if self.epoch > 0 {
+            self.scheme.advance_cache_generation();
+            self.validate_chained_certificate();
+        }
+        Ok(Instance {
+            service: self,
+            baseline,
+        })
+    }
+
+    /// Fan-in + committee agreement + coin for one instance's single-byte
+    /// inputs; certification follows via [`Service::certify_bytes`] (or is
+    /// deferred by the pipelined driver).
+    fn agree_bits(
+        &mut self,
+        inputs: &[u8],
+        chained: bool,
+    ) -> Result<(Vec<u8>, Digest), ProtocolError> {
+        let committee_inputs = self.robust_committee_inputs(inputs);
+        let y = if chained {
+            self.try_committee_ba_chained(&committee_inputs)?
+        } else {
+            self.try_committee_ba(&committee_inputs)?
+        };
+        let s = self.try_committee_coin()?;
+        self.snap("2:committee-ba+coin");
+        Ok((vec![y], s))
+    }
+
+    /// Fan-in + committee agreement + coin over ℓ-byte values. Width-1
+    /// instances take the plain bit path (identical charges to a
+    /// single-shot run); wider values fan in whole ([`MvInput`]) and
+    /// agree per byte.
+    fn agree_values(
+        &mut self,
+        inputs: &[Vec<u8>],
+        chained: bool,
+    ) -> Result<(Vec<u8>, Digest), ProtocolError> {
+        let width = inputs.iter().map(Vec::len).max().unwrap_or(0);
+        if width <= 1 {
+            let bits: Vec<u8> = inputs
+                .iter()
+                .map(|v| v.first().copied().unwrap_or(0))
+                .collect();
+            return self.agree_bits(&bits, chained);
+        }
+        let committee_values = self.robust_committee_values(inputs);
+        let value = if chained {
+            self.try_committee_ba_bytes(&committee_values, width)?
+        } else {
+            // Sequentially-driven instances validated the chain at
+            // begin_instance; run every byte under the plain engine.
+            let mut value = Vec::with_capacity(width);
+            for pos in 0..width {
+                let byte_inputs: BTreeMap<PartyId, u8> = committee_values
+                    .iter()
+                    .map(|(&p, v)| (p, v.get(pos).copied().unwrap_or(0)))
+                    .collect();
+                value.push(self.try_committee_ba(&byte_inputs)?);
+            }
+            value
+        };
+        let s = self.try_committee_coin()?;
+        self.snap("2:committee-ba+coin");
+        Ok((value, s))
+    }
+
+    /// One full instance body: agree, certify, judge.
+    fn run_instance_values(
+        &mut self,
+        inputs: &[Vec<u8>],
+    ) -> Result<MultiValueOutcome, ProtocolError> {
+        let (value, s) = self.agree_values(inputs, false)?;
+        let round = self.certify_bytes(value, s);
+        let unanimous = self.unanimous_value(inputs);
+        self.judge_values(unanimous, round)
+    }
+
+    /// Replaces the committee fault-injection strategy between instances —
+    /// the mid-stream chaos knob. The next instance's committee phases
+    /// build their adversary from the new spec; timing-fault axes are
+    /// establishment-scoped and are not re-armed here.
+    pub fn set_chaos(&mut self, spec: Option<StrategySpec>) {
+        self.config.chaos = spec;
+    }
+
+    /// Per-instance accounting slices recorded so far (the service-level
+    /// aggregation of every settled instance's metrics).
+    pub fn instance_reports(&self) -> &[InstanceReport] {
+        &self.instance_reports
+    }
+
+    /// The establishment's one-time signing budget, when the scheme's
+    /// epoch capacity is bounded (MSS-backed schemes; `None` for
+    /// sortition).
+    pub fn budget(&self) -> Option<&LeafBudget> {
+        self.budget.as_ref()
+    }
+
+    /// Streams `k` agreement instances over this one establishment — the
+    /// BA-as-a-service entry point behind the decisions/sec benchmark.
+    /// `instances[i][p]` is party `p`'s input value for instance `i`
+    /// (width 1 = bit agreement; wider values run multi-value BA).
+    ///
+    /// Sequential mode runs instances back-to-back via
+    /// [`Service::begin_instance`]. Pipelined mode defers instance `i`'s
+    /// certification (steps 3–8) into instance `i+1`'s committee phase:
+    /// its rounds run under an overlap window and only the remainder the
+    /// successor's committee rounds could not cover advances the clock.
+    /// Charges always land in full — pipelining hides round latency,
+    /// never bytes.
+    ///
+    /// An instance that fails leaves the stream running (its verdict is
+    /// recorded and the epoch slot is retried), except
+    /// [`ProtocolError::KeyBudget`], which ends the stream with the
+    /// failing instance named.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instance's input slice length differs from `n`, or
+    /// if pipelined mode is combined with timing-fault chaos (the overlap
+    /// window and the delay queue are mutually exclusive).
+    pub fn try_run_stream(
+        &mut self,
+        instances: &[Vec<Vec<u8>>],
+        mode: StreamMode,
+    ) -> StreamOutcome {
+        let rounds_start = self.net.metrics().rounds();
+        let mut outcomes: Vec<InstanceOutcome> = Vec::new();
+        let mut overlapped_total = 0u64;
+        match mode {
+            StreamMode::Sequential => {
+                for inputs in instances {
+                    match self.begin_instance() {
+                        Ok(instance) => {
+                            let index = instance.index();
+                            let (result, report) = instance.run_values(inputs);
+                            outcomes.push(InstanceOutcome {
+                                index,
+                                result,
+                                report,
+                            });
+                        }
+                        Err(reason) => {
+                            outcomes.push(self.refused_instance(reason));
+                            break;
+                        }
+                    }
+                }
+            }
+            StreamMode::Pipelined => {
+                assert!(
+                    self.net.timing().is_none(),
+                    "pipelined streaming is mutually exclusive with timing-fault chaos"
+                );
+                // Instance i's agreed (value, seed) parked while its
+                // certification waits for instance i+1's committee phase.
+                struct Deferred {
+                    index: u64,
+                    value: Vec<u8>,
+                    seed: Digest,
+                    unanimous: Option<Vec<u8>>,
+                    baseline: InstanceBaseline,
+                }
+                let mut pending: Option<Deferred> = None;
+                for (i, inputs) in instances.iter().enumerate() {
+                    // Settle the predecessor: its certification runs now,
+                    // inside an overlap window. The rounds it would cost
+                    // are absorbed; whatever this instance's committee
+                    // phase cannot cover re-surfaces below.
+                    let mut absorbed = 0u64;
+                    if let Some(d) = pending.take() {
+                        self.net.begin_round_overlap();
+                        let round = self.certify_bytes_at(d.index, d.value, d.seed);
+                        absorbed = self.net.end_round_overlap();
+                        let result = self.judge_values(d.unanimous, round);
+                        let report = self.finish_instance(d.baseline, absorbed);
+                        outcomes.push(InstanceOutcome {
+                            index: d.index,
+                            result,
+                            report,
+                        });
+                    }
+                    let baseline = self.instance_baseline();
+                    if let Err(reason) = self.reserve_epoch() {
+                        // No successor phase will cover the absorbed
+                        // rounds: they land on the clock after all.
+                        for _ in 0..absorbed {
+                            self.net.bump_round();
+                        }
+                        outcomes.push(self.refused_instance(reason));
+                        break;
+                    }
+                    if self.epoch > 0 {
+                        self.scheme.advance_cache_generation();
+                    }
+                    let rounds_before = self.net.metrics().rounds();
+                    let agreed = self.agree_values(inputs, true);
+                    // Rounds the committee phase actually ran bound how
+                    // much deferred certification it can hide; the
+                    // uncovered remainder advances the clock for real.
+                    let covered = self.net.metrics().rounds() - rounds_before;
+                    let hidden = absorbed.min(covered);
+                    overlapped_total += hidden;
+                    for _ in 0..absorbed.saturating_sub(covered) {
+                        self.net.bump_round();
+                    }
+                    match agreed {
+                        Ok((value, s)) => {
+                            let unanimous = self.unanimous_value(inputs);
+                            let index = self.epoch;
+                            if i + 1 < instances.len() {
+                                pending = Some(Deferred {
+                                    index,
+                                    value,
+                                    seed: s,
+                                    unanimous,
+                                    baseline,
+                                });
+                                // The successor's committee phase keys off
+                                // its own epoch while this certification
+                                // is still pending.
+                                self.epoch += 1;
+                            } else {
+                                let round = self.certify_bytes(value, s);
+                                let result = self.judge_values(unanimous, round);
+                                let report = self.finish_instance(baseline, 0);
+                                outcomes.push(InstanceOutcome {
+                                    index,
+                                    result,
+                                    report,
+                                });
+                            }
+                        }
+                        Err(reason) => {
+                            let index = self.epoch;
+                            let report = self.finish_instance(baseline, 0);
+                            outcomes.push(InstanceOutcome {
+                                index,
+                                result: Err(reason),
+                                report,
+                            });
+                        }
+                    }
+                }
+                // A trailing deferred instance (the loop ended on a failed
+                // successor) settles unoverlapped.
+                if let Some(d) = pending.take() {
+                    let round = self.certify_bytes_at(d.index, d.value, d.seed);
+                    let result = self.judge_values(d.unanimous, round);
+                    let report = self.finish_instance(d.baseline, 0);
+                    outcomes.push(InstanceOutcome {
+                        index: d.index,
+                        result,
+                        report,
+                    });
+                }
+            }
+        }
+        let decisions = outcomes
+            .iter()
+            .filter(|o| o.result.as_ref().map(|m| m.agreement).unwrap_or(false))
+            .count();
+        StreamOutcome {
+            instances: outcomes,
+            decisions,
+            total_rounds: self.net.metrics().rounds() - rounds_start,
+            overlapped_rounds: overlapped_total,
+        }
+    }
+
+    /// The zero-work outcome of an instance the signing budget refused.
+    fn refused_instance(&self, reason: ProtocolError) -> InstanceOutcome {
+        InstanceOutcome {
+            index: self.epoch,
+            result: Err(reason),
+            report: InstanceReport {
+                index: self.epoch,
+                total_bytes: 0,
+                rounds: 0,
+                overlapped_rounds: 0,
+                steps: Vec::new(),
+                cache: None,
+                transcript_digest: self.net.transcript().and_then(|t| t.last().copied()),
+            },
+        }
+    }
+}
+
+/// Cumulative-counter snapshot an [`InstanceReport`] is a delta of.
+#[derive(Clone, Copy, Debug)]
+struct InstanceBaseline {
+    index: u64,
+    bytes: u64,
+    rounds: u64,
+    steps_len: usize,
+    cache: Option<CacheStats>,
+}
+
+/// One agreement instance borrowing an established [`Service`]: opened by
+/// [`Service::begin_instance`] (which draws the instance's one-time
+/// signing slot and chains to its predecessor), consumed by one `run_*`
+/// call that returns the verdicts together with the instance-scoped
+/// accounting slice.
+pub struct Instance<'s, 'a, S: Srds> {
+    service: &'s mut Service<'a, S>,
+    baseline: InstanceBaseline,
+}
+
+impl<'s, 'a, S> Instance<'s, 'a, S>
+where
+    S: Srds,
+    S::Signature: Encode + Decode,
+{
+    /// The instance's index (the service epoch it runs as).
+    pub fn index(&self) -> u64 {
+        self.baseline.index
+    }
+
+    /// Read access to the underlying service.
+    pub fn service(&self) -> &Service<'a, S> {
+        self.service
+    }
+
+    /// Runs the instance over single-byte inputs: fan-in, committee BA and
+    /// coin, certification, spread — bit-compatible with the single-shot
+    /// [`try_run_ba`] body — and settles it.
+    pub fn run_bits(
+        self,
+        inputs: &[u8],
+    ) -> (Result<MultiValueOutcome, ProtocolError>, InstanceReport) {
+        let values: Vec<Vec<u8>> = inputs.iter().map(|&b| vec![b]).collect();
+        self.run_values(&values)
+    }
+
+    /// Runs the instance over ℓ-byte values (whole-value fan-in, per-byte
+    /// committee agreement, one certificate) and settles it.
+    pub fn run_values(
+        self,
+        inputs: &[Vec<u8>],
+    ) -> (Result<MultiValueOutcome, ProtocolError>, InstanceReport) {
+        let Instance { service, baseline } = self;
+        let result = service.run_instance_values(inputs);
+        let report = service.finish_instance(baseline, 0);
+        (result, report)
     }
 }
 
@@ -1979,7 +2853,13 @@ mod tests {
 
     #[test]
     fn session_supports_multiple_rounds() {
-        let scheme = SnarkSrds::with_defaults();
+        // Three rounds need a 3-slot one-time budget: height 2 gives 4.
+        // (The default height-1 scheme would refuse round 3 with a
+        // structured KeyBudget error — see the budget test below.)
+        let scheme = SnarkSrds::new(pba_srds::snark::SnarkSrdsConfig {
+            mss_bits: 32,
+            mss_height: 2,
+        });
         let config = BaConfig::honest(64, b"ba-multi");
         let mut session = Session::establish(&scheme, &config);
         let committee = session.supreme_committee();
@@ -1991,5 +2871,39 @@ mod tests {
                 assert_eq!(out.outputs[p.index()], Some(round % 2), "round {round}");
             }
         }
+        let budget = session.budget().expect("snark scheme has a bounded budget");
+        assert_eq!(budget.capacity(), 4);
+        assert_eq!(budget.consumed(), 3);
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_structured_error_not_a_panic() {
+        // Default height 1 = capacity 2: the third certified round must be
+        // refused with the failing instance named, and the session must
+        // remain usable for inspection.
+        let scheme = SnarkSrds::with_defaults();
+        let config = BaConfig::honest(64, b"ba-budget");
+        let mut session = Session::establish(&scheme, &config);
+        let committee = session.supreme_committee();
+        let inputs: BTreeMap<PartyId, u8> = committee.iter().map(|&p| (p, 1)).collect();
+        for _ in 0..2 {
+            let out = session.try_certified_round(&inputs).expect("within budget");
+            assert_eq!(out.y, 1);
+        }
+        let err = session
+            .try_certified_round(&inputs)
+            .expect_err("third round exceeds the capacity-2 budget");
+        assert_eq!(
+            err,
+            ProtocolError::KeyBudget {
+                error: KeyError::BudgetExhausted {
+                    instance: 2,
+                    capacity: 2,
+                },
+            }
+        );
+        assert_eq!(err.phase(), ProtocolPhase::Certification);
+        assert!(err.to_string().contains("instance 2"), "{err}");
+        assert_eq!(session.budget().map(|b| b.remaining()), Some(0));
     }
 }

@@ -196,6 +196,84 @@ impl fmt::Display for MssExhausted {
 
 impl std::error::Error for MssExhausted {}
 
+/// A disjoint-slice allocator over the `2^height` one-time signing slots
+/// of an MSS key generation.
+///
+/// Protocols that stream several executions over one key establishment
+/// (each execution consuming one slot per key, via deterministic
+/// [`MssKeyPair::sign_with_index`]) reserve their slice *before* starting,
+/// so exhaustion is a structured, pre-flight [`LeafBudgetExceeded`] — not
+/// a mid-protocol panic or, worse, a silent wrap onto an already-spent
+/// one-time key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeafBudget {
+    capacity: u64,
+    next: u64,
+}
+
+impl LeafBudget {
+    /// A budget over `capacity` one-time slots (typically
+    /// [`MssParams::capacity`]), none consumed yet.
+    pub fn new(capacity: u64) -> Self {
+        LeafBudget { capacity, next: 0 }
+    }
+
+    /// Total slots the budget started with.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Slots handed out so far.
+    pub fn consumed(&self) -> u64 {
+        self.next
+    }
+
+    /// Slots still available.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.next
+    }
+
+    /// Reserves the next `count` slots and returns their index range, or a
+    /// structured [`LeafBudgetExceeded`] (consuming nothing) when fewer
+    /// than `count` remain.
+    pub fn reserve(&mut self, count: u64) -> Result<std::ops::Range<u64>, LeafBudgetExceeded> {
+        if count > self.remaining() {
+            return Err(LeafBudgetExceeded {
+                requested: count,
+                remaining: self.remaining(),
+                capacity: self.capacity,
+            });
+        }
+        let start = self.next;
+        self.next += count;
+        Ok(start..self.next)
+    }
+}
+
+/// Error: a [`LeafBudget`] reservation asked for more one-time slots than
+/// remain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeafBudgetExceeded {
+    /// Slots the reservation asked for.
+    pub requested: u64,
+    /// Slots that were still available.
+    pub remaining: u64,
+    /// Total slots of the budget.
+    pub capacity: u64,
+}
+
+impl fmt::Display for LeafBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mss leaf budget exceeded: requested {} one-time slot(s) with {} of {} remaining",
+            self.requested, self.remaining, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LeafBudgetExceeded {}
+
 /// An MSS signature: one-time key index, its verification key, the Lamport
 /// signature, and the Merkle authentication path.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -316,5 +394,32 @@ mod tests {
         let s2 = kp.sign_with_index(b"m", 2);
         assert_eq!(s1, s2);
         assert!(params.verify(&kp.verification_key(), b"m", &s1));
+    }
+
+    #[test]
+    fn leaf_budget_hands_out_disjoint_slices() {
+        let mut budget = LeafBudget::new(8);
+        assert_eq!(budget.reserve(3).unwrap(), 0..3);
+        assert_eq!(budget.reserve(5).unwrap(), 3..8);
+        assert_eq!(budget.remaining(), 0);
+        assert_eq!(budget.consumed(), 8);
+    }
+
+    #[test]
+    fn leaf_budget_overdraw_is_structured_and_consumes_nothing() {
+        let mut budget = LeafBudget::new(4);
+        budget.reserve(3).unwrap();
+        let err = budget.reserve(2).expect_err("only one slot left");
+        assert_eq!(
+            err,
+            LeafBudgetExceeded {
+                requested: 2,
+                remaining: 1,
+                capacity: 4
+            }
+        );
+        assert!(err.to_string().contains("leaf budget exceeded"));
+        // The failed reservation consumed nothing: the last slot is intact.
+        assert_eq!(budget.reserve(1).unwrap(), 3..4);
     }
 }

@@ -159,6 +159,11 @@ pub struct Network {
     /// Exchanges performed so far; becomes the sequence number stamped on
     /// the round markers of the next exchange.
     exchange_seq: u64,
+    /// Open round-overlap window, if any (see
+    /// [`Network::begin_round_overlap`]): while `Some`, `bump_round`
+    /// increments this absorbed-round counter instead of advancing the
+    /// clock — the rounds ride on machine rounds being counted elsewhere.
+    absorbed_rounds: Option<u64>,
 }
 
 impl Network {
@@ -178,6 +183,7 @@ impl Network {
             transport: None,
             transport_error: None,
             exchange_seq: 0,
+            absorbed_rounds: None,
         }
     }
 
@@ -357,10 +363,53 @@ impl Network {
         &self.staged
     }
 
-    /// Advances the round counter and the delivery tick.
+    /// Advances the round counter and the delivery tick — unless a
+    /// round-overlap window is open, in which case the round is *absorbed*
+    /// (counted in the window, not on the clock): it executes concurrently
+    /// with machine rounds that are already being counted elsewhere.
     pub fn bump_round(&mut self) {
+        if let Some(absorbed) = &mut self.absorbed_rounds {
+            *absorbed += 1;
+            return;
+        }
         self.now += 1;
         self.metrics.bump_round();
+    }
+
+    /// Opens a round-overlap window: until [`Network::end_round_overlap`],
+    /// `bump_round` calls are absorbed instead of advancing the clock.
+    /// Used by the pipelined driver to run charge-only background work
+    /// (e.g. a previous instance's certification) *during* the machine
+    /// rounds of the current phase — bytes are still metered in full;
+    /// only the round count overlaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is already open (windows do not nest) or a
+    /// timing model is installed (absorbed rounds would desynchronize the
+    /// delay queue's tick coordinates).
+    pub fn begin_round_overlap(&mut self) {
+        assert!(
+            self.absorbed_rounds.is_none(),
+            "round-overlap windows do not nest"
+        );
+        assert!(
+            self.timing.is_none(),
+            "round overlap and timing faults are mutually exclusive"
+        );
+        self.absorbed_rounds = Some(0);
+    }
+
+    /// Closes the round-overlap window and returns how many `bump_round`
+    /// calls it absorbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is open.
+    pub fn end_round_overlap(&mut self) -> u64 {
+        self.absorbed_rounds
+            .take()
+            .expect("no round-overlap window open")
     }
 
     /// Installs timing faults: subsequent [`Network::take_staged`] calls

@@ -291,6 +291,54 @@ pub fn run_phase_driven(
     driver: RoundDriver,
     threads: usize,
 ) -> PhaseOutcome {
+    let (outcome, absorbed) =
+        run_phase_overlapped(net, machines, adversary, max_rounds, driver, threads, None);
+    debug_assert_eq!(absorbed, 0, "no background work was supplied");
+    outcome
+}
+
+/// The per-round background hook of [`run_phase_overlapped`]: called with
+/// the network (inside an overlap window) and the current machine round,
+/// returns `true` when its work is done.
+pub type BackgroundHook<'a> = &'a mut dyn FnMut(&mut Network, u64) -> bool;
+
+/// Runs one phase while a background task executes in the slack of each
+/// machine round — the pipelined driver behind BA-as-a-service streaming.
+///
+/// This is the chained-block shape from Fast-HotStuff: while the committee
+/// machines vote on instance `i+1`'s rounds, the `background` hook makes
+/// progress on instance `i`'s leftover work (predecessor-certificate
+/// validation, deferred certification charges). The hook is called once per
+/// machine round, after the adversary acts, with the network wrapped in a
+/// round-overlap window: any [`Network::bump_round`] the hook performs is
+/// absorbed into the concurrently-running machine round instead of
+/// advancing the clock. The hook returns `true` when its work is done;
+/// it is not called again after that.
+///
+/// Returns the phase outcome plus the number of absorbed background rounds.
+/// Callers that overlap round-bearing work (deferred certification) should
+/// compare that figure against the phase's own rounds and bump the clock by
+/// the difference — the overlap can only hide as many rounds as the
+/// foreground phase actually runs.
+///
+/// With `background = None` this is exactly [`run_phase_driven`]: no
+/// overlap window is ever opened, so it composes with timing models.
+///
+/// # Panics
+///
+/// Panics if a corrupted identity appears among the honest machines, or if
+/// a machine panics on a worker thread.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_overlapped(
+    net: &mut Network,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
+    adversary: &mut dyn Adversary,
+    max_rounds: u64,
+    driver: RoundDriver,
+    threads: usize,
+    mut background: Option<BackgroundHook<'_>>,
+) -> (PhaseOutcome, u64) {
+    let mut absorbed_total = 0u64;
     for id in machines.keys() {
         assert!(
             !adversary.corrupted().contains(id),
@@ -319,10 +367,13 @@ pub fn run_phase_driven(
         // the oracle. Abort the phase; the protocol layer reads the
         // recorded error off the network and reports it structurally.
         if net.transport_error().is_some() {
-            return PhaseOutcome {
-                rounds,
-                completed: false,
-            };
+            return (
+                PhaseOutcome {
+                    rounds,
+                    completed: false,
+                },
+                absorbed_total,
+            );
         }
 
         // Partition deliveries per receiver.
@@ -383,12 +434,24 @@ pub fn run_phase_driven(
             adversary.on_round(rounds - 1, &rushed, &mut sender);
         }
 
+        // Background slot: the pipelined predecessor-instance work runs in
+        // the slack of this machine round. Its round bumps are absorbed by
+        // the overlap window rather than advancing the shared clock.
+        if let Some(hook) = background.as_mut() {
+            net.begin_round_overlap();
+            let done = hook(net, rounds - 1);
+            absorbed_total += net.end_round_overlap();
+            if done {
+                background = None;
+            }
+        }
+
         if machines.values().all(|m| m.is_done()) {
             completed = true;
             break;
         }
     }
-    PhaseOutcome { rounds, completed }
+    (PhaseOutcome { rounds, completed }, absorbed_total)
 }
 
 /// One parallel honest step: machines run on scoped workers with buffered
@@ -550,6 +613,46 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn overlapped_background_absorbs_rounds() {
+        let n = 4u64;
+        // Oracle: the same phase with no background work.
+        let mut plain_net = Network::new(n as usize);
+        plain_net.enable_transcript();
+        let mut plain_machines = ring_machines(n);
+        let mut adv = SilentAdversary::default();
+        let plain_out = run_phase(&mut plain_net, &mut plain_machines, &mut adv, 20);
+
+        // Pipelined: a background task burns two of its own rounds in the
+        // slack of each of the first two machine rounds. All four bumps are
+        // absorbed — the foreground phase and the shared clock are unchanged.
+        let mut net = Network::new(n as usize);
+        net.enable_transcript();
+        let mut machines = ring_machines(n);
+        let mut adv = SilentAdversary::default();
+        let mut calls = 0u64;
+        let mut background = |net: &mut Network, _round: u64| {
+            net.bump_round();
+            net.bump_round();
+            calls += 1;
+            calls == 2
+        };
+        let (out, absorbed) = run_phase_overlapped(
+            &mut net,
+            &mut machines,
+            &mut adv,
+            20,
+            RoundDriver::Lockstep,
+            1,
+            Some(&mut background),
+        );
+        assert_eq!(out, plain_out);
+        assert_eq!(absorbed, 4);
+        assert_eq!(calls, 2, "hook is not called again once done");
+        assert_eq!(net.report(), plain_net.report());
+        assert_eq!(net.transcript(), plain_net.transcript());
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub mod tag {
     /// `BroadcastInput` — broadcast sender's input transfer to the supreme
     /// committee.
     pub const BCAST_INPUT: u8 = 0x10;
+    /// `MvInput` — multi-value (ℓ-byte) input fan-in up the tree.
+    pub const MV_INPUT: u8 = 0x11;
 }
 
 /// Nominal Figure 3 step numbers carried in the header's second byte.
@@ -183,6 +185,7 @@ const CERTIFICATE_FIELDS: &[FieldSpec] = &[F::U64, F::VarBytes, F::Bytes(32), F:
 const SAMPLE_QUERY_FIELDS: &[FieldSpec] = &[F::U64];
 const SAMPLE_RESPONSE_FIELDS: &[FieldSpec] = &[F::Byte];
 const BCAST_INPUT_FIELDS: &[FieldSpec] = &[F::Byte];
+const MV_INPUT_FIELDS: &[FieldSpec] = &[F::U64, F::VarBytes];
 
 /// The full tag registry, ordered by tag. The golden snapshot test in
 /// `tests/wire.rs` pins every row; append new tags at the end.
@@ -322,6 +325,14 @@ pub const REGISTRY: &[TagInfo] = &[
         step_label: "bcast-input",
         crate_name: "pba-core",
         schema: BodySchema::Struct(BCAST_INPUT_FIELDS),
+    },
+    TagInfo {
+        tag: tag::MV_INPUT,
+        name: "MvInput",
+        step: step::NONE,
+        step_label: "mv-input",
+        crate_name: "pba-core",
+        schema: BodySchema::Struct(MV_INPUT_FIELDS),
     },
 ];
 

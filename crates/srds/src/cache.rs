@@ -51,14 +51,46 @@ pub fn reset_cert_cache_stats() -> (u64, u64) {
     )
 }
 
+/// A snapshot of one cache's own counters (as opposed to the process-wide
+/// [`cert_cache_stats`]): hits and misses since construction, plus the
+/// *warm* hits — hits on entries inserted in an **earlier generation**
+/// than the one current at lookup time.
+///
+/// A BA service advances the generation at every instance boundary, so
+/// `warm_hits` counts exactly the cross-instance reuse: verdicts cached by
+/// a previous instance (e.g. the chained predecessor certificate) and
+/// consumed by a later one. A cold single-shot run never advances the
+/// generation, so its `warm_hits` is zero by construction even though
+/// within-run memoization produces plenty of plain `hits`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the verifier.
+    pub misses: u64,
+    /// Hits whose entry predates the current generation.
+    pub warm_hits: u64,
+}
+
 /// Memoizes deterministic verification verdicts keyed by an input digest.
 ///
 /// The caller is responsible for making the key collision-resistantly
 /// cover *everything* the verdict depends on (for SNARK-SRDS: the CRS
 /// public id, the full statement, and the proof bytes).
+///
+/// Besides the process-wide counters, each cache tracks its own
+/// [`CacheStats`] and a monotone *generation*: entries remember the
+/// generation they were inserted in, and a hit on an entry from an older
+/// generation counts as a warm (cross-generation) hit. Callers that reuse
+/// one cache across protocol instances bump the generation at each
+/// boundary via [`CertCache::advance_generation`].
 #[derive(Debug, Default)]
 pub struct CertCache {
-    verdicts: Mutex<HashMap<Digest, bool>>,
+    verdicts: Mutex<HashMap<Digest, (bool, u64)>>,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    warm_hits: AtomicU64,
 }
 
 impl CertCache {
@@ -77,19 +109,47 @@ impl CertCache {
         self.len() == 0
     }
 
+    /// The current generation (0 until the first
+    /// [`CertCache::advance_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Starts a new generation and returns its number. Entries inserted
+    /// from now on are "fresh"; hits on older entries count as warm.
+    pub fn advance_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// This cache's own counters (relaxed independent loads — same
+    /// snapshot contract as [`cert_cache_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+        }
+    }
+
     /// Returns the cached verdict for `key`, or runs `verify`, caches its
     /// verdict, and returns it.
     pub fn get_or_verify(&self, key: Digest, verify: impl FnOnce() -> bool) -> bool {
-        if let Some(&verdict) = self.verdicts.lock().expect("cache poisoned").get(&key) {
+        let generation = self.generation.load(Ordering::Relaxed);
+        if let Some(&(verdict, born)) = self.verdicts.lock().expect("cache poisoned").get(&key) {
             CERT_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if born < generation {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            }
             return verdict;
         }
         CERT_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let verdict = verify();
         self.verdicts
             .lock()
             .expect("cache poisoned")
-            .insert(key, verdict);
+            .insert(key, (verdict, generation));
         verdict
     }
 }
@@ -125,5 +185,38 @@ mod tests {
         let (h1, m1) = cert_cache_stats();
         assert!(h1 >= h0 + 2);
         assert!(m1 >= m0 + 2);
+
+        // Per-cache counters are scoped to this cache alone.
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                warm_hits: 0
+            }
+        );
+    }
+
+    #[test]
+    fn generations_distinguish_warm_hits() {
+        let cache = CertCache::new();
+        let old = Sha256::digest(b"old-entry");
+        let fresh = Sha256::digest(b"fresh-entry");
+
+        assert!(cache.get_or_verify(old, || true)); // miss, generation 0
+        assert!(cache.get_or_verify(old, || unreachable!())); // same-generation hit
+        assert_eq!(cache.stats().warm_hits, 0);
+
+        assert_eq!(cache.advance_generation(), 1);
+        assert!(cache.get_or_verify(fresh, || true)); // miss, generation 1
+        assert!(cache.get_or_verify(fresh, || unreachable!())); // same-generation hit
+        assert_eq!(cache.stats().warm_hits, 0);
+
+        // Only the hit on the generation-0 entry is warm.
+        assert!(cache.get_or_verify(old, || unreachable!()));
+        let stats = cache.stats();
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
     }
 }

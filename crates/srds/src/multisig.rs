@@ -43,15 +43,25 @@ impl Default for MultisigConfig {
 }
 
 /// The multi-signature baseline scheme (bare PKI).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Like [`crate::snark::SnarkSrds`], the scheme value carries a
+/// verified-certificate cache: the combined tag is a deterministic MAC of
+/// `(m, bitmap)` under a fixed CRS, and the same `Combined` signature is
+/// re-checked at every tree level and by every receiving party during the
+/// spread, so the verdict is memoized. Clones share the cache.
+#[derive(Clone, Debug, Default)]
 pub struct MultisigSrds {
     config: MultisigConfig,
+    cert_cache: std::sync::Arc<crate::cache::CertCache>,
 }
 
 impl MultisigSrds {
     /// Creates the scheme with explicit tunables.
     pub fn new(config: MultisigConfig) -> Self {
-        MultisigSrds { config }
+        MultisigSrds {
+            config,
+            cert_cache: Default::default(),
+        }
     }
 
     /// Creates the scheme with default tunables.
@@ -72,6 +82,27 @@ impl MultisigSrds {
         payload.extend_from_slice(bitmap);
         let d = Sha256::digest(&payload);
         Attestor::new(pp.crs.clone(), "multisig-combine").attest(&d)
+    }
+
+    /// Tag verification through the per-scheme verdict cache. The key
+    /// covers everything the deterministic verdict depends on: the CRS
+    /// public id, the message digest, the bitmap, and the claimed tag.
+    fn cached_tag_verify(
+        &self,
+        pp: &MultisigPublicParams,
+        message: &[u8],
+        bitmap: &[u8],
+        tag: &Digest,
+    ) -> bool {
+        let mut h = Sha256::new();
+        h.update(b"multisig-cert-cache");
+        h.update(pp.crs.public_id().as_bytes());
+        h.update(Self::message_digest(message).as_bytes());
+        h.update(&(bitmap.len() as u64).to_le_bytes());
+        h.update(bitmap);
+        h.update(tag.as_bytes());
+        self.cert_cache
+            .get_or_verify(h.finalize(), || Self::tag(pp, message, bitmap) == *tag)
     }
 }
 
@@ -254,12 +285,29 @@ impl Srds for MultisigSrds {
         epoch: u64,
         message: &[u8],
     ) -> Option<MultisigSignature> {
+        // ⊥ past capacity — mirrors `SnarkSrds::sign_epoch`: wrapping onto
+        // a spent one-time slot would silently break the MSS security
+        // argument, so exhaustion is surfaced instead.
+        if epoch >= pp.mss.capacity() as u64 {
+            return None;
+        }
         let m_digest = Self::message_digest(message);
-        let slot = (epoch as usize) % pp.mss.capacity();
         Some(MultisigSignature::Base {
             id: index,
-            mss: sk.sign_with_index(m_digest.as_bytes(), slot),
+            mss: sk.sign_with_index(m_digest.as_bytes(), epoch as usize),
         })
+    }
+
+    fn epoch_capacity(&self, pp: &MultisigPublicParams) -> Option<u64> {
+        Some(pp.mss.capacity() as u64)
+    }
+
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        Some(self.cert_cache.stats())
+    }
+
+    fn advance_cache_generation(&self) {
+        self.cert_cache.advance_generation();
     }
 
     fn aggregate1(
@@ -286,7 +334,9 @@ impl Srds for MultisigSrds {
                     }
                 }
                 MultisigSignature::Combined { bitmap, tag } => {
-                    if bitmap.len() == pp.n.div_ceil(8) && Self::tag(pp, message, bitmap) == *tag {
+                    if bitmap.len() == pp.n.div_ceil(8)
+                        && self.cached_tag_verify(pp, message, bitmap, tag)
+                    {
                         out.push(sig.clone());
                     }
                 }
@@ -323,7 +373,9 @@ impl Srds for MultisigSrds {
                     }
                 }
                 MultisigSignature::Combined { bitmap: other, tag } => {
-                    if other.len() != bitmap.len() || Self::tag(pp, message, other) != *tag {
+                    if other.len() != bitmap.len()
+                        || !self.cached_tag_verify(pp, message, other, tag)
+                    {
                         return None;
                     }
                     for (b, o) in bitmap.iter_mut().zip(other) {
@@ -347,7 +399,7 @@ impl Srds for MultisigSrds {
             MultisigSignature::Base { .. } | MultisigSignature::Attested { .. } => false,
             MultisigSignature::Combined { bitmap, tag } => {
                 bitmap.len() == pp.n.div_ceil(8)
-                    && Self::tag(pp, message, bitmap) == *tag
+                    && self.cached_tag_verify(pp, message, bitmap, tag)
                     && MultisigSignature::popcount(bitmap) >= pp.threshold
             }
         }

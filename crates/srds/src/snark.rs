@@ -601,12 +601,30 @@ impl Srds for SnarkSrds {
         epoch: u64,
         message: &[u8],
     ) -> Option<SnarkSignature> {
+        // One one-time slot per epoch; past capacity the answer is ⊥, never
+        // a silent wrap onto an already-spent key (which would break the
+        // one-time discipline the MSS security argument rests on). Streamed
+        // callers budget epochs up front via `epoch_capacity`.
+        if epoch >= pp.mss.capacity() as u64 {
+            return None;
+        }
         let m_digest = Self::message_digest(message);
-        let slot = (epoch as usize) % pp.mss.capacity();
         Some(SnarkSignature::Base {
             id: index,
-            mss: sk.sign_with_index(m_digest.as_bytes(), slot),
+            mss: sk.sign_with_index(m_digest.as_bytes(), epoch as usize),
         })
+    }
+
+    fn epoch_capacity(&self, pp: &SnarkPublicParams) -> Option<u64> {
+        Some(pp.mss.capacity() as u64)
+    }
+
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        Some(self.cert_cache.stats())
+    }
+
+    fn advance_cache_generation(&self) {
+        self.cert_cache.advance_generation();
     }
 
     fn aggregate1(

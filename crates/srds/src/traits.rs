@@ -108,6 +108,29 @@ pub trait Srds {
         self.sign(pp, index, sk, message)
     }
 
+    /// How many numbered executions (epochs) one key generation supports
+    /// before [`Srds::sign_epoch`] runs out of one-time signing slots —
+    /// `None` when the scheme places no epoch bound (e.g. sortition
+    /// schemes whose `sign_epoch` ignores the epoch). Callers that stream
+    /// instances over one establishment use this to budget disjoint
+    /// capacity slices instead of discovering exhaustion mid-protocol.
+    fn epoch_capacity(&self, pp: &Self::PublicParams) -> Option<u64> {
+        let _ = pp;
+        None
+    }
+
+    /// Counters of the scheme's verified-certificate cache, when it keeps
+    /// one ([`crate::cache::CacheStats`]); `None` for cache-less schemes.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        None
+    }
+
+    /// Marks an instance boundary on the scheme's certificate cache (see
+    /// [`crate::cache::CertCache::advance_generation`]): verdicts cached
+    /// before this point count as *warm* when hit again afterwards.
+    /// No-op for cache-less schemes.
+    fn advance_cache_generation(&self) {}
+
     /// `Aggregate₁(pp, {vk}, m, {σ}) → S_sig` — the deterministic,
     /// key-dependent filter. Output is the polylog-size subset of
     /// signatures that will actually be combined.

@@ -15,7 +15,8 @@
 //! absorbed, whole-run churn times out gracefully, and nothing violates.
 
 use pba_bench::chaos::{
-    default_cases, render_sweep, run_case, run_sweep, ChaosReport, ChaosVerdict,
+    default_cases, default_stream_cases, render_sweep, run_case, run_stream_case, run_sweep,
+    ChaosReport, ChaosVerdict,
 };
 use std::sync::OnceLock;
 
@@ -276,6 +277,60 @@ fn golden_outcome_table() {
             "golden table row {i} diverged (repro: {})",
             reports[i].case.repro()
         );
+    }
+}
+
+/// Expected per-instance verdicts (`;`-joined, instance order) of the
+/// mid-stream arming cases under seed `chaos-ci`: a 4-instance stream
+/// over one establishment, clean until instance 2 (0-based), then the
+/// strategy is armed via `Service::set_chaos`. Regenerate with
+/// `cargo run --release -p pba-bench --bin chaos -- chaos-ci`.
+const STREAM_GOLDEN: &[(&str, &str)] = &[
+    (
+        "48 stream-4 arm@2 equivocate",
+        "agreed(Some(1));agreed(Some(1));agreed(Some(1));agreed(Some(1))",
+    ),
+    (
+        "48 stream-4 arm@2 garble-both",
+        "agreed(Some(1));agreed(Some(1));agreed(Some(1));agreed(Some(1))",
+    ),
+    (
+        "48 stream-4 arm@2 replay-3",
+        "agreed(Some(1));agreed(Some(1));agreed(Some(1));agreed(Some(1))",
+    ),
+    (
+        "48 stream-4 arm@2 flood-512x8",
+        "agreed(Some(1));agreed(Some(1));agreed(Some(1));agreed(Some(1))",
+    ),
+];
+
+#[test]
+fn golden_mid_stream_arming_table() {
+    let cases = default_stream_cases(b"chaos-ci");
+    assert_eq!(
+        cases.len(),
+        STREAM_GOLDEN.len(),
+        "stream matrix size changed — regenerate the golden table"
+    );
+    for (case, (want_key, want_verdicts)) in cases.iter().zip(STREAM_GOLDEN) {
+        let report = run_stream_case(case);
+        assert_eq!(
+            (report.case.key().as_str(), report.verdicts.as_str()),
+            (*want_key, *want_verdicts),
+            "mid-stream golden row diverged"
+        );
+        // Earlier instances settled before the adversary was armed: their
+        // verdicts must be agreement regardless of what the late strategy
+        // does to the rest of the stream.
+        let per_instance: Vec<&str> = report.verdicts.split(';').collect();
+        assert_eq!(per_instance.len(), case.k);
+        for (i, verdict) in per_instance.iter().take(case.arm_at).enumerate() {
+            assert!(
+                verdict.starts_with("agreed"),
+                "{}: pre-arming instance {i} lost its verdict: {verdict}",
+                report.case.key()
+            );
+        }
     }
 }
 

@@ -140,7 +140,7 @@ fn sampled_off_path_key_is_a_structured_error() {
         .expect_err("party 0 must be uninstantiated when the root is majority-corrupt");
     assert_eq!(
         err,
-        KeyError {
+        KeyError::NotInstantiated {
             party: PartyId(0),
             key_index: 0
         }

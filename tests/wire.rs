@@ -11,7 +11,7 @@ use pba_core::broadcast::BroadcastInput;
 use pba_core::coin::CoinMsg;
 use pba_core::dolev_strong::DsMessage;
 use pba_core::phase_king::PkMsg;
-use pba_core::protocol::{Certificate, ValueSeed};
+use pba_core::protocol::{Certificate, MvInput, ValueSeed};
 use pba_core::vss_coin::VssCoinMsg;
 use pba_crypto::field::Fp;
 use pba_net::wire::{self, step, tag, WireError, HEADER_LEN, MAX_WIRE_BYTES, REGISTRY};
@@ -66,6 +66,10 @@ fn every_registered_message_type_roundtrips() {
     roundtrip(SampleQuery { nonce: u64::MAX });
     roundtrip(SampleResponse { value: 1 });
     roundtrip(BroadcastInput { value: 0 });
+    roundtrip(MvInput {
+        epoch: 2,
+        value: vec![0xde, 0xad, 0xbe, 0xef],
+    });
 }
 
 /// The hardened decoder rejects every malformed shape with the specific
@@ -177,6 +181,7 @@ fn tag_registry_golden_snapshot() {
         "0x0e SampleQuery step=0 baseline pba-core",
         "0x0f SampleResponse step=0 baseline pba-core",
         "0x10 BroadcastInput step=0 bcast-input pba-core",
+        "0x11 MvInput step=0 mv-input pba-core",
     ];
     assert_eq!(
         rendered, expected,
@@ -195,6 +200,7 @@ fn tag_registry_golden_snapshot() {
         (SampleQuery::TAG, SampleQuery::STEP),
         (SampleResponse::TAG, SampleResponse::STEP),
         (BroadcastInput::TAG, BroadcastInput::STEP),
+        (MvInput::TAG, MvInput::STEP),
     ] {
         let info = wire::lookup(t).expect("WireMsg tag not in registry");
         assert_eq!(info.step, s, "WireMsg STEP disagrees with registry");
@@ -444,6 +450,7 @@ proptest! {
         let _ = wire::decode_msg::<SampleQuery>(&payload);
         let _ = wire::decode_msg::<SampleResponse>(&payload);
         let _ = wire::decode_msg::<BroadcastInput>(&payload);
+        let _ = wire::decode_msg::<MvInput>(&payload);
         let _ = wire::peek_tag(&payload);
         let mut prg = Prg::from_seed_bytes(b"fuzz");
         let _ = wire::mutate_field(&payload, &mut prg);
