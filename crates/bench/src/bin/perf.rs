@@ -66,12 +66,12 @@ fn main() {
             s.n,
             s.speedup
         );
-        if !report.smoke && report.host_parallelism >= 4 && s.n >= 1024 {
+        if !report.smoke && report.host_cores >= 4 && s.n >= 1024 {
             assert!(
                 s.speedup >= 2.0,
                 "expected >= 2x at n={} with {} threads, got x{:.2}",
                 s.n,
-                report.host_parallelism,
+                report.host_cores,
                 s.speedup
             );
         }

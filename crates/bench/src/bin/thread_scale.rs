@@ -1,0 +1,81 @@
+//! Compound threads × lanes baseline of the work-stealing round engine —
+//! emits `BENCH_10.json` (wall time and rounds/sec per `(threads, lanes)`
+//! cell, sequential-transcript identity, lane-occupancy deltas, host core
+//! count).
+//!
+//! ```sh
+//! cargo run -p pba-bench --bin thread_scale --release [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! `--smoke` restricts the grid to n = 64 for CI. All timings are
+//! measured, never synthesized: on single-core hosts every cell still
+//! runs (the pool is over-subscription safe), the determinism and
+//! occupancy gates still bind, and only the wall-clock speedup target is
+//! waived — ≥ 1.5× over the 1-thread 8-lane baseline is asserted where
+//! it is physically attainable (4+ hardware threads, full sweep,
+//! n ≥ 1024).
+
+use pba_bench::threads::{run_thread_scale, ThreadScaleConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let config = if smoke {
+        ThreadScaleConfig::smoke(host_cores)
+    } else {
+        ThreadScaleConfig::full(host_cores)
+    };
+
+    eprintln!(
+        "thread_scale: sizes {:?}, threads {:?}, {} rounds/cell, {} ragged digests/party/round, host cores {}",
+        config.sizes, config.threads, config.rounds, config.hash_iters, host_cores
+    );
+    let report = run_thread_scale(&config, smoke);
+
+    for cell in &report.cells {
+        eprintln!(
+            "thread_scale: n={:<5} threads={:<3} lanes={} wall={:>9.2}ms rounds/s={:>8.1} occupancy={:.3} identical={}",
+            cell.n, cell.threads, cell.lanes, cell.wall_ms, cell.rounds_per_sec, cell.occupancy, cell.identical
+        );
+    }
+    for s in &report.speedups {
+        eprintln!(
+            "thread_scale: n={:<5} speedup x{:.2} ({} threads); occupancy per-party {:.3} -> pooled {:.3}",
+            s.n, s.speedup, s.threads, s.per_party_occupancy, s.pooled_occupancy
+        );
+    }
+
+    assert!(
+        report.transcripts_identical(),
+        "a (threads, lanes) cell diverged from the sequential transcript — scheduler bug"
+    );
+    assert!(
+        report.pooled_occupancy_exceeds_per_party(),
+        "cross-party batching failed to beat per-party lane occupancy"
+    );
+    for s in &report.speedups {
+        if !report.smoke && report.host_cores >= 4 && s.n >= 1024 {
+            assert!(
+                s.speedup >= 1.5,
+                "expected >= 1.5x over 1-thread 8-lane at n={} with {} cores, got x{:.2}",
+                s.n,
+                report.host_cores,
+                s.speedup
+            );
+        }
+    }
+
+    let json = report.to_json();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_10.json");
+    println!("{json}");
+    eprintln!("thread_scale: wrote {out_path}");
+}

@@ -127,7 +127,7 @@ pub struct HashPerfReport {
     /// Engine lane width ([`pba_crypto::sha256::LANES`]).
     pub lanes: usize,
     /// `std::thread::available_parallelism()` of the measuring host.
-    pub host_parallelism: usize,
+    pub host_cores: usize,
     /// Sweep parameters.
     pub config: HashPerfConfig,
     /// Per-primitive microbench rows.
@@ -171,7 +171,7 @@ impl HashPerfReport {
                 "{{\"bench\":\"multi-lane-hash-engine\",",
                 "\"smoke\":{},",
                 "\"lanes\":{},",
-                "\"host_parallelism\":{},",
+                "\"host_cores\":{},",
                 "\"rounds_per_case\":{},",
                 "\"hash_iters_per_round\":{},",
                 "\"digests_identical\":{},",
@@ -180,7 +180,7 @@ impl HashPerfReport {
             ),
             self.smoke,
             self.lanes,
-            self.host_parallelism,
+            self.host_cores,
             self.config.rounds,
             self.config.hash_iters,
             self.digests_identical(),
@@ -406,7 +406,7 @@ fn run_cell(n: usize, batched: bool, rounds: u64, iters: u32) -> (f64, u64, Vec<
 
 /// Runs the full scalar-vs-batched sweep.
 pub fn run_hash_perf(config: &HashPerfConfig, smoke: bool) -> HashPerfReport {
-    let host_parallelism = std::thread::available_parallelism()
+    let host_cores = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
     let micro = vec![
@@ -432,7 +432,7 @@ pub fn run_hash_perf(config: &HashPerfConfig, smoke: bool) -> HashPerfReport {
     HashPerfReport {
         smoke,
         lanes: LANES,
-        host_parallelism,
+        host_cores,
         config: config.clone(),
         micro,
         e2e,

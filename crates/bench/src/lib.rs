@@ -32,7 +32,8 @@
 //!   (`cargo run -p pba-bench --bin scale --release [-- --smoke]`) —
 //!   full honest `π_ba` rounds up to `n = 2^20` with sparse metrics and
 //!   lazy keygen, bits/party vs. the King–Saia `√n` baseline (anchored by
-//!   measured runs at n ∈ {64, 256, 1024}), wall time, and peak RSS,
+//!   measured runs at every power of two n ∈ {2^6 … 2^10}), wall time,
+//!   and peak RSS,
 //!   emitted as `BENCH_8.json` (see [`scale`]);
 //! * **the pipelined BA-as-a-service throughput grid**
 //!   (`cargo run -p pba-bench --bin pipeline --release [-- --smoke]`) —
@@ -40,6 +41,12 @@
 //!   vs. `k` independent full runs, with the setup-amortization ratio and
 //!   the rounds hidden by certification chaining, emitted as
 //!   `BENCH_9.json` (see [`pipeline`]);
+//! * **the compound threads × lanes grid**
+//!   (`cargo run -p pba-bench --bin thread_scale --release [-- --smoke]`)
+//!   — the work-stealing round engine swept over `(threads, lanes)`
+//!   cells with sequential-transcript identity gated per cell, lane
+//!   occupancy measured per cell, and the host core count stamped into
+//!   the artifact, emitted as `BENCH_10.json` (see [`threads`]);
 //! * criterion micro/macro benches under `benches/`.
 
 pub mod chaos;
@@ -48,6 +55,7 @@ pub mod perf;
 pub mod pipeline;
 pub mod scale;
 pub mod socket;
+pub mod threads;
 
 use pba_core::baselines::{all_to_all_ba, committee_flood_ba, sqrt_sampling_boost};
 use pba_core::protocol::{run_ba, BaConfig};

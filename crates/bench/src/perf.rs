@@ -105,8 +105,10 @@ impl CacheStats {
 pub struct PerfReport {
     /// Whether this was the `--smoke` variant.
     pub smoke: bool,
+    /// Engine lane width ([`pba_crypto::sha256::LANES`]) of the build.
+    pub lanes: usize,
     /// `std::thread::available_parallelism()` of the measuring host.
-    pub host_parallelism: usize,
+    pub host_cores: usize,
     /// Sweep parameters.
     pub config: PerfConfig,
     /// All timed cells.
@@ -149,7 +151,8 @@ impl PerfReport {
             concat!(
                 "{{\"bench\":\"parallel-round-engine\",",
                 "\"smoke\":{},",
-                "\"host_parallelism\":{},",
+                "\"lanes\":{},",
+                "\"host_cores\":{},",
                 "\"rounds_per_case\":{},",
                 "\"hash_iters_per_round\":{},",
                 "\"deterministic\":{},",
@@ -161,7 +164,8 @@ impl PerfReport {
                 "}}}}"
             ),
             self.smoke,
-            self.host_parallelism,
+            self.lanes,
+            self.host_cores,
             self.config.rounds,
             self.config.hash_iters,
             self.deterministic,
@@ -313,7 +317,7 @@ pub fn exercise_caches() -> (CacheStats, CacheStats) {
 /// with all available workers, checking transcript equality across thread
 /// counts.
 pub fn run_perf(config: &PerfConfig, smoke: bool) -> PerfReport {
-    let host_parallelism = std::thread::available_parallelism()
+    let host_cores = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
     let mut cases = Vec::new();
@@ -328,20 +332,20 @@ pub fn run_perf(config: &PerfConfig, smoke: bool) -> PerfReport {
             rounds: seq_rounds,
             rounds_per_sec: seq_rounds as f64 / (seq_ms / 1e3),
         });
-        if host_parallelism > 1 {
+        if host_cores > 1 {
             let (par_ms, par_rounds, par_transcript) =
-                run_cell(n, host_parallelism, config.rounds, config.hash_iters);
+                run_cell(n, host_cores, config.rounds, config.hash_iters);
             deterministic &= par_transcript == seq_transcript && par_rounds == seq_rounds;
             cases.push(PerfCase {
                 n,
-                threads: host_parallelism,
+                threads: host_cores,
                 wall_ms: par_ms,
                 rounds: par_rounds,
                 rounds_per_sec: par_rounds as f64 / (par_ms / 1e3),
             });
             speedups.push(Speedup {
                 n,
-                threads: host_parallelism,
+                threads: host_cores,
                 speedup: seq_ms / par_ms,
             });
         } else {
@@ -357,7 +361,8 @@ pub fn run_perf(config: &PerfConfig, smoke: bool) -> PerfReport {
     let (merkle_cache, cert_cache) = exercise_caches();
     PerfReport {
         smoke,
-        host_parallelism,
+        lanes: pba_crypto::sha256::LANES,
+        host_cores,
         config: config.clone(),
         cases,
         speedups,
@@ -383,7 +388,8 @@ mod tests {
         assert_eq!(report.speedups.len(), 1);
         let json = report.to_json();
         for key in [
-            "\"host_parallelism\"",
+            "\"lanes\"",
+            "\"host_cores\"",
             "\"cases\"",
             "\"speedups\"",
             "\"merkle_proof\"",

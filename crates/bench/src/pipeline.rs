@@ -85,6 +85,10 @@ pub struct PipelineCell {
 pub struct PipelineReport {
     /// Whether this was the `--smoke` variant.
     pub smoke: bool,
+    /// Engine lane width ([`pba_crypto::sha256::LANES`]) of the build.
+    pub lanes: usize,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_cores: usize,
     /// All measured cells.
     pub cells: Vec<PipelineCell>,
 }
@@ -124,8 +128,13 @@ impl PipelineReport {
             })
             .collect();
         format!(
-            "{{\"bench\":\"pipelined-ba-service\",\"smoke\":{},\"cells\":[{}]}}",
+            concat!(
+                "{{\"bench\":\"pipelined-ba-service\",\"smoke\":{},",
+                "\"lanes\":{},\"host_cores\":{},\"cells\":[{}]}}"
+            ),
             self.smoke,
+            self.lanes,
+            self.host_cores,
             cells.join(","),
         )
     }
@@ -255,7 +264,14 @@ pub fn run_pipeline(config: &PipelineConfig, smoke: bool) -> PipelineReport {
             cells.push(cell);
         }
     }
-    PipelineReport { smoke, cells }
+    PipelineReport {
+        smoke,
+        lanes: pba_crypto::sha256::LANES,
+        host_cores: std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -283,10 +299,14 @@ mod tests {
     fn report_renders_json() {
         let report = PipelineReport {
             smoke: true,
+            lanes: pba_crypto::sha256::LANES,
+            host_cores: 1,
             cells: vec![run_cell(64, 1)],
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\":\"pipelined-ba-service\""));
+        assert!(json.contains("\"lanes\":8"));
+        assert!(json.contains("\"host_cores\":1"));
         assert!(json.contains("\"amortized_speedup\""));
         assert!(json.contains("\"n\":64,\"k\":1"));
     }

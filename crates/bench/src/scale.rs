@@ -17,10 +17,11 @@
 //! keygen pass blows the budget long before it reaches 2^20.
 //!
 //! The √n column is anchored by *measurement*, not by formula: the
-//! King–Saia boost actually runs at n ∈ {64, 256, 1024} and the measured
-//! bits/party of each anchor land in the JSON (`sqrt_anchors`), so the
-//! ~0.5 growth exponent of the baseline is itself a measured quantity;
-//! only sizes above the largest anchor are extrapolated by `√(n/n₀)`.
+//! King–Saia boost actually runs at every power of two n ∈ {2^6 … 2^10}
+//! and the measured bits/party of each anchor land in the JSON
+//! (`sqrt_anchors`), so the ~0.5 growth exponent of the baseline is
+//! itself a measured quantity; only sizes above the largest anchor are
+//! extrapolated by `√(n/n₀)`.
 
 use pba_core::baselines::sqrt_sampling_boost;
 use pba_core::protocol::{BaConfig, KeyPolicy, Session};
@@ -99,7 +100,11 @@ pub struct SqrtAnchor {
 pub struct ScaleReport {
     /// Whether this was the `--smoke` variant.
     pub smoke: bool,
-    /// Measured √n anchors at n ∈ {64, 256, 1024} (ascending).
+    /// Engine lane width ([`pba_crypto::sha256::LANES`]) of the build.
+    pub lanes: usize,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_cores: usize,
+    /// Measured √n anchors at n ∈ {2^6, 2^7, 2^8, 2^9, 2^10} (ascending).
     pub sqrt_anchors: Vec<SqrtAnchor>,
     /// Measured √n-baseline bits/party at the anchor size `n₀ = 2^10`
     /// (the last entry of [`Self::sqrt_anchors`]).
@@ -150,6 +155,8 @@ impl ScaleReport {
             concat!(
                 "{{\"bench\":\"million-party-scaling\",",
                 "\"smoke\":{},",
+                "\"lanes\":{},",
+                "\"host_cores\":{},",
                 "\"sqrt_anchors\":[{}],",
                 "\"anchor_sqrt_bits\":{},",
                 "\"polylog_fit\":{{\"k\":{:.4},\"r2\":{:.4}}},",
@@ -157,6 +164,8 @@ impl ScaleReport {
                 "\"cases\":[{}]}}"
             ),
             self.smoke,
+            self.lanes,
+            self.host_cores,
             anchors.join(","),
             self.anchor_sqrt_bits,
             self.polylog_fit.0,
@@ -192,8 +201,10 @@ pub fn peak_rss_mib() -> f64 {
 /// Anchor size for the √n baseline column (the largest measured anchor).
 const SQRT_ANCHOR_N: usize = 1 << 10;
 
-/// Sizes the King–Saia baseline is actually *run* at.
-const SQRT_ANCHOR_SIZES: [usize; 3] = [64, 256, SQRT_ANCHOR_N];
+/// Sizes the King–Saia baseline is actually *run* at: every power of two
+/// from 2^6 up to the 2^10 anchor, so the √n fit rests on five measured
+/// points rather than three.
+const SQRT_ANCHOR_SIZES: [usize; 5] = [64, 128, 256, 512, SQRT_ANCHOR_N];
 
 /// Runs the King–Saia √n-sampling boost at each anchor size and records
 /// the measured max bits/party.
@@ -302,6 +313,10 @@ pub fn run_scale(config: &ScaleConfig, smoke: bool) -> ScaleReport {
         .collect();
     ScaleReport {
         smoke,
+        lanes: pba_crypto::sha256::LANES,
+        host_cores: std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
         sqrt_anchors,
         anchor_sqrt_bits,
         polylog_fit: crate::polylog_fit(&points),
@@ -330,6 +345,8 @@ mod tests {
     fn report_renders_json() {
         let report = ScaleReport {
             smoke: true,
+            lanes: pba_crypto::sha256::LANES,
+            host_cores: 1,
             sqrt_anchors: vec![SqrtAnchor {
                 n: 64,
                 bits_per_party: 512,
@@ -341,6 +358,8 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\":\"million-party-scaling\""));
+        assert!(json.contains("\"lanes\":8"));
+        assert!(json.contains("\"host_cores\":1"));
         assert!(json.contains("\"polylog_fit\""));
         assert!(json.contains("\"sqrt_anchors\":[{\"n\":64,\"bits_per_party\":512}]"));
     }
@@ -350,7 +369,7 @@ mod tests {
         let anchors = measure_sqrt_anchors();
         assert_eq!(
             anchors.iter().map(|a| a.n).collect::<Vec<_>>(),
-            vec![64, 256, 1024]
+            vec![64, 128, 256, 512, 1024]
         );
         let points: Vec<(usize, u64)> = anchors
             .iter()

@@ -248,9 +248,12 @@ pub struct BaConfig {
     /// misbehaviour). Built deterministically from the execution seed.
     pub chaos: Option<StrategySpec>,
     /// Worker threads for the committee sub-protocol round engine
-    /// (`1` = sequential). Any value yields a bit-identical execution —
-    /// see [`pba_net::run_phase_threaded`] — so this is purely a
-    /// wall-clock knob.
+    /// (`0` and `1` both mean sequential). Larger values run honest
+    /// machines on a phase-persistent work-stealing pool with
+    /// cost-balanced chunks; any value — including more threads than
+    /// parties — yields a bit-identical execution (see
+    /// [`pba_net::run_phase_threaded`]), so this is purely a wall-clock
+    /// knob.
     pub threads: usize,
     /// When signing-key material is instantiated (see [`KeyPolicy`]).
     pub key_policy: KeyPolicy,
@@ -294,10 +297,12 @@ impl BaConfig {
         }
     }
 
-    /// Returns the configuration with the round-engine thread count set
-    /// (clamped to at least one worker).
+    /// Returns the configuration with the round-engine thread count set.
+    /// `0` is accepted and runs the sequential engine, as does `1`; the
+    /// runner caps the pool at the machine count, so over-subscription is
+    /// safe too.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
         self
     }
 
@@ -1256,7 +1261,7 @@ where
                 adversary.as_mut(),
                 rounds_for(supreme.len()) + 6 + slack,
                 driver,
-                self.config.threads.max(1),
+                self.config.threads,
             )
         };
         self.ba_phase_verdict(outcome, &machines)
@@ -1364,7 +1369,7 @@ where
                 adversary.as_mut(),
                 rounds_for(supreme.len()) + 6 + slack,
                 driver,
-                self.config.threads.max(1),
+                self.config.threads,
                 Some(&mut background),
             );
             outcome
@@ -1405,7 +1410,7 @@ where
             &mut self.prg.child("coin", epoch),
             driver,
             slack,
-            self.config.threads.max(1),
+            self.config.threads,
         ) {
             Ok(seeds) => seeds,
             Err(outcome) => {

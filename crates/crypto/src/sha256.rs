@@ -17,7 +17,9 @@
 //! );
 //! ```
 
+use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of bytes in a SHA-256 digest.
 pub const DIGEST_LEN: usize = 32;
@@ -312,6 +314,64 @@ impl Sha256 {
 /// input count and falls back to the scalar reference core for ragged tails.
 pub const LANES: usize = 8;
 
+/// Digests the batch APIs produced through the 8-lane vector core
+/// (process-wide, monotone; see [`engine_stats`]).
+static LANE_DIGESTS: AtomicU64 = AtomicU64::new(0);
+/// Digests the batch APIs handed to the scalar fallback (ragged run tails
+/// and sub-[`LANES`] batches).
+static SCALAR_DIGESTS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the batch engine's dispatch counters: how many digests the
+/// batch APIs computed on the 8-lane vector core versus the scalar fallback.
+///
+/// Counters are process-wide and monotone (`Relaxed` atomics — the same
+/// idiom as the Merkle/cert cache counters), so concurrent hashing from
+/// worker threads is counted without synchronization. Measure a workload by
+/// diffing two snapshots with [`EngineStats::since`]; *lane occupancy*
+/// (the fraction of batched digests that took the vector path) is the
+/// figure the cross-party batching layer exists to raise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Digests computed by the 8-lane core (counted in groups of [`LANES`]).
+    pub lane_digests: u64,
+    /// Digests computed by the scalar reference core inside a batch call.
+    pub scalar_digests: u64,
+}
+
+impl EngineStats {
+    /// Total digests the batch APIs produced.
+    pub fn total(&self) -> u64 {
+        self.lane_digests + self.scalar_digests
+    }
+
+    /// Fraction of batched digests that took the lane path (0.0 when no
+    /// batched digests were produced).
+    pub fn occupancy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.lane_digests as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas relative to an `earlier` snapshot.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            lane_digests: self.lane_digests - earlier.lane_digests,
+            scalar_digests: self.scalar_digests - earlier.scalar_digests,
+        }
+    }
+}
+
+/// Current process-wide batch-engine dispatch counters.
+pub fn engine_stats() -> EngineStats {
+    EngineStats {
+        lane_digests: LANE_DIGESTS.load(Ordering::Relaxed),
+        scalar_digests: SCALAR_DIGESTS.load(Ordering::Relaxed),
+    }
+}
+
 /// A message presented to the lane engine as up to three concatenated
 /// segments (`prefix ‖ a ‖ b`), viewed through its FIPS 180-4 padding.
 ///
@@ -440,6 +500,7 @@ fn compress_lanes(state: &mut [[u32; LANES]; 8], blocks: &[[u8; BLOCK_LEN]; LANE
 /// Runs `LANES` equal-block-count views through the lane core, scattering
 /// the digests to `out[indices[l]]`.
 fn digest_lane_group(views: &[View<'_>; LANES], indices: &[usize; LANES], out: &mut [Digest]) {
+    LANE_DIGESTS.fetch_add(LANES as u64, Ordering::Relaxed);
     let nblocks = views[0].nblocks();
     debug_assert!(views.iter().all(|v| v.nblocks() == nblocks));
     let mut state = [[0u32; LANES]; 8];
@@ -470,12 +531,22 @@ fn digest_lane_group(views: &[View<'_>; LANES], indices: &[usize; LANES], out: &
 /// so ragged batches are handled without dummy-lane waste and the result
 /// is bit-identical to per-input [`Sha256::digest`] in all cases.
 fn batch_views(views: &[View<'_>]) -> Vec<Digest> {
-    let mut out = vec![Digest::ZERO; views.len()];
+    let mut out = Vec::new();
+    batch_views_into(views, &mut out);
+    out
+}
+
+/// [`batch_views`] writing into a caller-supplied buffer (cleared first;
+/// capacity is reused across rounds on the hot path).
+fn batch_views_into(views: &[View<'_>], out: &mut Vec<Digest>) {
+    out.clear();
+    out.resize(views.len(), Digest::ZERO);
     if views.len() < LANES {
+        SCALAR_DIGESTS.fetch_add(views.len() as u64, Ordering::Relaxed);
         for (o, v) in out.iter_mut().zip(views) {
             *o = v.scalar_digest();
         }
-        return out;
+        return;
     }
     let mut order: Vec<usize> = (0..views.len()).collect();
     order.sort_by_key(|&i| views[i].nblocks());
@@ -491,14 +562,15 @@ fn batch_views(views: &[View<'_>]) -> Vec<Digest> {
         for chunk in &mut chunks {
             let indices: [usize; LANES] = chunk.try_into().expect("exact chunk");
             let group: [View<'_>; LANES] = std::array::from_fn(|l| views[indices[l]]);
-            digest_lane_group(&group, &indices, &mut out);
+            digest_lane_group(&group, &indices, out);
         }
-        for &i in chunks.remainder() {
+        let tail = chunks.remainder();
+        SCALAR_DIGESTS.fetch_add(tail.len() as u64, Ordering::Relaxed);
+        for &i in tail {
             out[i] = views[i].scalar_digest();
         }
         run_start = run_end;
     }
-    out
 }
 
 /// Hashes many independent inputs through the multi-lane engine.
@@ -519,6 +591,28 @@ fn batch_views(views: &[View<'_>]) -> Vec<Digest> {
 pub fn batch_digest(inputs: &[&[u8]]) -> Vec<Digest> {
     let views: Vec<View<'_>> = inputs.iter().map(|i| View::new([i, &[], &[]])).collect();
     batch_views(&views)
+}
+
+/// [`batch_digest`] writing into a caller-supplied scratch buffer.
+///
+/// `out` is cleared and refilled; its capacity survives across calls, so a
+/// machine hashing every round reuses one allocation for the whole phase
+/// instead of paying a fresh `Vec<Digest>` per round. Contents are
+/// bit-identical to [`batch_digest`].
+///
+/// # Examples
+///
+/// ```
+/// use pba_crypto::sha256::{batch_digest, batch_digest_into};
+///
+/// let inputs: Vec<&[u8]> = vec![b"a", b"bc"];
+/// let mut scratch = Vec::new();
+/// batch_digest_into(&inputs, &mut scratch);
+/// assert_eq!(scratch, batch_digest(&inputs));
+/// ```
+pub fn batch_digest_into(inputs: &[&[u8]], out: &mut Vec<Digest>) {
+    let views: Vec<View<'_>> = inputs.iter().map(|i| View::new([i, &[], &[]])).collect();
+    batch_views_into(&views, out);
 }
 
 /// Hashes `prefix ‖ input` for each input, batched. Used for domain-prefixed
@@ -550,6 +644,7 @@ pub fn batch_digest_pairs(prefix: u8, pairs: &[(Digest, Digest)]) -> Vec<Digest>
     let mut chunks = pairs.chunks_exact(LANES);
     let mut base = 0;
     for chunk in &mut chunks {
+        LANE_DIGESTS.fetch_add(LANES as u64, Ordering::Relaxed);
         let mut state = [[0u32; LANES]; 8];
         for k in 0..8 {
             state[k] = [H0[k]; LANES];
@@ -581,10 +676,168 @@ pub fn batch_digest_pairs(prefix: u8, pairs: &[(Digest, Digest)]) -> Vec<Digest>
         }
         base += LANES;
     }
-    for (o, pair) in out[base..].iter_mut().zip(chunks.remainder()) {
+    let tail = chunks.remainder();
+    SCALAR_DIGESTS.fetch_add(tail.len() as u64, Ordering::Relaxed);
+    for (o, pair) in out[base..].iter_mut().zip(tail) {
         *o = scalar_pair(pair);
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Cross-party batch grouping
+// ---------------------------------------------------------------------------
+
+/// Pools the hash manifests of many independent producers (the parties of
+/// one scheduler chunk) into a single batch, so ragged per-party remainders
+/// fill full [`LANES`]-wide groups instead of each falling back to the
+/// scalar core.
+///
+/// Usage is two-phase: [`DigestBatcher::enqueue`] each producer's declared
+/// inputs (recording a [`BatchJob`] handle per producer), [`DigestBatcher::
+/// flush`] once over the pooled set, then hand each producer a
+/// [`PrefetchedDigests`] view of its own slice via [`DigestBatcher::job`].
+/// A view *serves* digest requests by matching the requested inputs
+/// byte-for-byte against the declared manifest in order — a served digest is
+/// therefore bit-identical to computing it on the spot, and any mismatch
+/// (a producer hashing something it did not declare) simply falls back to
+/// on-demand computation at the call site.
+///
+/// # Examples
+///
+/// ```
+/// use pba_crypto::sha256::{DigestBatcher, Sha256};
+///
+/// let mut batcher = DigestBatcher::new();
+/// let job = batcher
+///     .enqueue(vec![b"a".to_vec(), b"bc".to_vec()])
+///     .expect("non-empty manifest");
+/// batcher.flush();
+/// let view = batcher.job(&job);
+/// let served = view.serve(&[b"a", b"bc"]).expect("declared in order");
+/// assert_eq!(served[1], Sha256::digest(b"bc"));
+/// ```
+#[derive(Debug, Default)]
+pub struct DigestBatcher {
+    inputs: Vec<Vec<u8>>,
+    digests: Vec<Digest>,
+    flushed: bool,
+}
+
+/// Handle to one producer's contiguous slice of a [`DigestBatcher`] pool.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchJob {
+    start: usize,
+    end: usize,
+}
+
+impl DigestBatcher {
+    /// An empty batcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears queued inputs and digests, keeping allocated capacity — one
+    /// batcher per worker is reused across every chunk of a phase.
+    pub fn reset(&mut self) {
+        self.inputs.clear();
+        self.digests.clear();
+        self.flushed = false;
+    }
+
+    /// Queues one producer's declared hash inputs, returning its job handle
+    /// (`None` for an empty manifest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`DigestBatcher::flush`] without an
+    /// intervening [`DigestBatcher::reset`].
+    pub fn enqueue(&mut self, manifest: Vec<Vec<u8>>) -> Option<BatchJob> {
+        assert!(!self.flushed, "enqueue after flush; call reset first");
+        if manifest.is_empty() {
+            return None;
+        }
+        let start = self.inputs.len();
+        self.inputs.extend(manifest);
+        Some(BatchJob {
+            start,
+            end: self.inputs.len(),
+        })
+    }
+
+    /// Digests the entire pooled set in one multi-lane batch. Grouping by
+    /// block count happens across *all* queued producers, which is the
+    /// whole point: eight parties with five ragged leftovers each become
+    /// five full lane groups.
+    pub fn flush(&mut self) {
+        let refs: Vec<&[u8]> = self.inputs.iter().map(|i| i.as_slice()).collect();
+        batch_digest_into(&refs, &mut self.digests);
+        self.flushed = true;
+    }
+
+    /// Number of pooled inputs.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when no inputs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The prefetched view for one producer's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool was not flushed.
+    pub fn job(&self, job: &BatchJob) -> PrefetchedDigests<'_> {
+        assert!(self.flushed, "job view requested before flush");
+        PrefetchedDigests {
+            inputs: &self.inputs[job.start..job.end],
+            digests: &self.digests[job.start..job.end],
+            cursor: Cell::new(0),
+        }
+    }
+}
+
+/// One producer's slice of a flushed [`DigestBatcher`] pool: declared
+/// inputs and their digests, consumed in declaration order.
+#[derive(Debug)]
+pub struct PrefetchedDigests<'a> {
+    inputs: &'a [Vec<u8>],
+    digests: &'a [Digest],
+    cursor: Cell<usize>,
+}
+
+impl PrefetchedDigests<'_> {
+    /// Serves a digest request against the prefetched sequence: if the next
+    /// `requested.len()` declared inputs match the request byte-for-byte,
+    /// returns their digests and advances the cursor; otherwise returns
+    /// `None` and leaves the cursor untouched, so the caller computes
+    /// on demand (and later declared inputs can still be served).
+    pub fn serve(&self, requested: &[&[u8]]) -> Option<&[Digest]> {
+        let start = self.cursor.get();
+        let end = start.checked_add(requested.len())?;
+        if end > self.inputs.len() {
+            return None;
+        }
+        let declared = &self.inputs[start..end];
+        if declared
+            .iter()
+            .zip(requested)
+            .all(|(have, want)| have.as_slice() == *want)
+        {
+            self.cursor.set(end);
+            Some(&self.digests[start..end])
+        } else {
+            None
+        }
+    }
+
+    /// Declared inputs not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.inputs.len() - self.cursor.get()
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +996,85 @@ mod tests {
             concat.extend_from_slice(m);
             assert_eq!(batched[i], Sha256::digest(&concat), "i={i}");
         }
+    }
+
+    #[test]
+    fn batch_digest_into_matches_and_reuses_capacity() {
+        let msgs: Vec<Vec<u8>> = (0..2 * LANES + 3).map(|i| vec![i as u8; i * 7]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let mut scratch = Vec::new();
+        batch_digest_into(&refs, &mut scratch);
+        assert_eq!(scratch, batch_digest(&refs));
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        batch_digest_into(&refs[..LANES], &mut scratch);
+        assert_eq!(scratch, batch_digest(&refs[..LANES]));
+        assert_eq!(scratch.capacity(), cap, "no reallocation on smaller batch");
+        assert_eq!(scratch.as_ptr(), ptr, "buffer reused in place");
+    }
+
+    #[test]
+    fn engine_stats_count_lane_and_scalar_dispatch() {
+        // Counters are process-wide and monotone; concurrent tests can only
+        // add, so assert lower bounds on the deltas.
+        let msgs: Vec<Vec<u8>> = (0..LANES + 3).map(|i| vec![i as u8; 20]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let before = engine_stats();
+        let _ = batch_digest(&refs);
+        let delta = engine_stats().since(&before);
+        assert!(delta.lane_digests >= LANES as u64, "{delta:?}");
+        assert!(delta.scalar_digests >= 3, "{delta:?}");
+        assert!(delta.occupancy() > 0.0 && delta.occupancy() < 1.0);
+        assert_eq!(EngineStats::default().occupancy(), 0.0);
+    }
+
+    #[test]
+    fn digest_batcher_serves_declared_inputs_bit_identically() {
+        let mut batcher = DigestBatcher::new();
+        // Three producers with ragged manifests (5 each: all-scalar alone).
+        let manifests: Vec<Vec<Vec<u8>>> = (0..3u8)
+            .map(|p| (0..5u8).map(|i| vec![p * 16 + i; 20]).collect())
+            .collect();
+        let jobs: Vec<BatchJob> = manifests
+            .iter()
+            .map(|m| batcher.enqueue(m.clone()).expect("non-empty"))
+            .collect();
+        assert_eq!(batcher.len(), 15);
+        batcher.flush();
+        for (manifest, job) in manifests.iter().zip(&jobs) {
+            let view = batcher.job(job);
+            // Split the request: two served calls walk the same sequence.
+            let first: Vec<&[u8]> = manifest[..2].iter().map(|m| m.as_slice()).collect();
+            let rest: Vec<&[u8]> = manifest[2..].iter().map(|m| m.as_slice()).collect();
+            let d1 = view.serve(&first).expect("prefix declared").to_vec();
+            let d2 = view.serve(&rest).expect("suffix declared").to_vec();
+            for (d, m) in d1.iter().chain(&d2).zip(manifest) {
+                assert_eq!(*d, Sha256::digest(m));
+            }
+            assert_eq!(view.remaining(), 0);
+        }
+        // Reset keeps the batcher reusable.
+        batcher.reset();
+        assert!(batcher.is_empty());
+    }
+
+    #[test]
+    fn digest_batcher_mismatch_falls_back_without_advancing() {
+        let mut batcher = DigestBatcher::new();
+        let declared = vec![b"alpha".to_vec(), b"beta".to_vec()];
+        let job = batcher.enqueue(declared).expect("non-empty");
+        batcher.flush();
+        let view = batcher.job(&job);
+        // Undeclared request: not served, cursor untouched.
+        assert!(view.serve(&[b"gamma"]).is_none());
+        assert_eq!(view.remaining(), 2);
+        // Over-long request: not served.
+        assert!(view.serve(&[b"alpha", b"beta", b"gamma"]).is_none());
+        // The declared sequence still serves afterwards.
+        let served = view.serve(&[b"alpha", b"beta"]).expect("still available");
+        assert_eq!(served[0], Sha256::digest(b"alpha"));
+        // Exhausted: nothing further.
+        assert!(view.serve(&[b"alpha"]).is_none());
     }
 
     #[test]

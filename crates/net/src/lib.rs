@@ -58,6 +58,7 @@ pub mod framing;
 pub mod metrics;
 pub mod network;
 pub mod runner;
+mod sched;
 pub mod transport;
 pub mod wire;
 

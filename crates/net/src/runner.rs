@@ -18,24 +18,33 @@
 //! Within a round, honest parties are independent: each machine sees only
 //! its own inbox (delivered last round) and its own state, and its effects
 //! on the network (sends, receive charges) commute with nothing until the
-//! round boundary. [`run_phase_threaded`] exploits this: machines run
-//! across [`std::thread::scope`] workers with *buffered* contexts
+//! round boundary. [`run_phase_threaded`] exploits this: machines run on a
+//! phase-persistent pool of [`std::thread::scope`] workers (the
+//! work-stealing scheduler in `sched`) with *buffered* contexts
 //! ([`crate::network::RoundEffects`]), and the per-party effect logs are
 //! replayed against the network in ascending [`PartyId`] order — the same
-//! order the sequential engine steps parties in. The result is
-//! byte-identical to [`run_phase`]: identical staged-envelope order,
-//! identical metrics, and an identical rushing view for the adversary,
-//! which always runs on the calling thread after the merge.
+//! order the sequential engine steps parties in. Chunk boundaries follow a
+//! per-party step-cost model and idle workers steal trailing chunks, but
+//! neither influences the merge order, so the result is byte-identical to
+//! [`run_phase`]: identical staged-envelope order, identical metrics, and
+//! an identical rushing view for the adversary, which always runs on the
+//! calling thread after the merge.
 //!
 //! Thread-level parallelism composes with *lane-level* hash batching:
 //! machines route their per-round hash workloads through
 //! [`crate::network::Ctx::hash_batch`] (the multi-lane SHA-256 engine),
 //! which is pure — each worker batches its own machines' digests with no
 //! shared state, so `BaConfig::threads` and the engine's lanes multiply
-//! rather than contend.
+//! rather than contend. Machines that additionally declare their workload
+//! up front ([`Machine::hash_manifest`]) get *cross-party* batching: the
+//! worker pools every declared input of a chunk into one
+//! [`pba_crypto::sha256::DigestBatcher`] flush, so ragged per-party
+//! remainders fill whole lane groups instead of falling back to the
+//! scalar core.
 
 use crate::envelope::{Envelope, PartyId};
-use crate::network::{Ctx, Network, RoundEffects};
+use crate::network::Network;
+use crate::sched::{self, CostModel};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A per-party protocol state machine for one phase.
@@ -49,6 +58,24 @@ pub trait Machine {
     /// True once the machine has produced its output and will ignore
     /// further rounds.
     fn is_done(&self) -> bool;
+
+    /// Declares, *before* the round is stepped, the exact inputs this
+    /// machine will feed to [`crate::network::Ctx::hash_batch`] /
+    /// [`crate::network::Ctx::hash_batch_into`] this round (in call
+    /// order), given the inbox it is about to receive.
+    ///
+    /// The parallel engine's workers pool the declared manifests of every
+    /// machine in a chunk into a single cross-party
+    /// [`pba_crypto::sha256::DigestBatcher`] batch before stepping any of
+    /// them, then serve each machine's `hash_batch` calls from the pool by
+    /// byte-matching the requests against the declaration. A machine whose
+    /// calls diverge from its manifest (or that keeps the empty default)
+    /// simply hashes on demand — served or not, the digests are
+    /// bit-identical, so declaring is purely a lane-occupancy optimization
+    /// and never a correctness obligation.
+    fn hash_manifest(&self, _inbox: &[Envelope]) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
 }
 
 impl<M: Machine + ?Sized> Machine for &mut M {
@@ -57,6 +84,9 @@ impl<M: Machine + ?Sized> Machine for &mut M {
     }
     fn is_done(&self) -> bool {
         (**self).is_done()
+    }
+    fn hash_manifest(&self, inbox: &[Envelope]) -> Vec<Vec<u8>> {
+        (**self).hash_manifest(inbox)
     }
 }
 
@@ -235,14 +265,19 @@ pub fn run_phase(
 }
 
 /// Runs one phase to completion (all honest machines done) or `max_rounds`,
-/// stepping honest machines across up to `threads` scoped worker threads.
+/// stepping honest machines on a pool of up to `threads` scoped workers.
 ///
-/// `threads <= 1` is the plain sequential engine. For `threads > 1`, each
-/// round's honest machines are split into contiguous ascending-id chunks;
-/// every worker runs its chunk against buffered contexts, and the buffered
-/// effects are merged in ascending [`PartyId`] order before the adversary
-/// acts. The execution — outcome, staged-envelope transcript, metrics, and
-/// adversary observations — is bit-identical for every thread count.
+/// `threads <= 1` (including `0`) is the plain sequential engine. For
+/// `threads > 1`, the phase spawns a persistent worker pool (capped at the
+/// machine count, so `threads > n` is safe); each round's honest machines
+/// are split into contiguous ascending-id chunks whose boundaries track
+/// observed per-party step costs, idle workers steal trailing chunks from
+/// a shared queue, and every worker runs its chunks against buffered
+/// contexts. The buffered effects are merged in ascending [`PartyId`]
+/// order before the adversary acts — steal order may vary run to run, the
+/// merge order may not — so the execution (outcome, staged-envelope
+/// transcript, metrics, adversary observations) is bit-identical for
+/// every thread count.
 ///
 /// # Panics
 ///
@@ -329,22 +364,89 @@ pub type BackgroundHook<'a> = &'a mut dyn FnMut(&mut Network, u64) -> bool;
 /// Panics if a corrupted identity appears among the honest machines, or if
 /// a machine panics on a worker thread.
 #[allow(clippy::too_many_arguments)]
-pub fn run_phase_overlapped(
+pub fn run_phase_overlapped<'m>(
     net: &mut Network,
-    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + 'm>>,
     adversary: &mut dyn Adversary,
     max_rounds: u64,
     driver: RoundDriver,
     threads: usize,
-    mut background: Option<BackgroundHook<'_>>,
+    background: Option<BackgroundHook<'_>>,
 ) -> (PhaseOutcome, u64) {
-    let mut absorbed_total = 0u64;
     for id in machines.keys() {
         assert!(
             !adversary.corrupted().contains(id),
             "party {id} is both honest and corrupted"
         );
     }
+    if threads <= 1 || machines.len() <= 1 {
+        // Sequential engine: step machines in map order against the live
+        // network. This is the reference schedule the parallel path must
+        // reproduce bit for bit.
+        return phase_loop(
+            net,
+            machines,
+            adversary,
+            max_rounds,
+            driver,
+            background,
+            &mut |net, machines, inboxes, round, offline| {
+                for (&id, machine) in machines.iter_mut() {
+                    let inbox = inboxes.remove(&id).unwrap_or_default();
+                    if offline.contains(&id) {
+                        continue;
+                    }
+                    let mut ctx = net.ctx(id, round);
+                    machine.on_round(&mut ctx, &inbox);
+                }
+            },
+        );
+    }
+    // Parallel engine: one scoped worker pool for the whole phase. The
+    // cost model persists across the phase's rounds — costs observed in
+    // round r seed the chunk boundaries of round r + 1.
+    let workers = threads.min(machines.len());
+    sched::with_pool(workers, |pool| {
+        let mut cost = CostModel::new();
+        phase_loop(
+            net,
+            machines,
+            adversary,
+            max_rounds,
+            driver,
+            background,
+            &mut |net, machines, inboxes, round, offline| {
+                pool.step_round(net, machines, inboxes, round, offline, &mut cost);
+            },
+        )
+    })
+}
+
+/// One honest step of a round: consumes the honest inboxes (leaving the
+/// corrupted parties' entries for the rushing view) and steps every online
+/// machine, sequentially or via the worker pool.
+type StepFn<'a, 'm> = &'a mut dyn FnMut(
+    &mut Network,
+    &mut BTreeMap<PartyId, Box<dyn Machine + Send + 'm>>,
+    &mut BTreeMap<PartyId, Vec<Envelope>>,
+    u64,
+    &BTreeSet<PartyId>,
+);
+
+/// The phase loop shared by the sequential and pooled engines: delivery
+/// ticks, the honest step (via `step`), rushing adversary, background
+/// overlap, and completion detection.
+#[allow(clippy::too_many_arguments)]
+fn phase_loop<'m>(
+    net: &mut Network,
+    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + 'm>>,
+    adversary: &mut dyn Adversary,
+    max_rounds: u64,
+    driver: RoundDriver,
+    mut background: Option<BackgroundHook<'_>>,
+    step: StepFn<'_, 'm>,
+) -> (PhaseOutcome, u64) {
+    let mut absorbed_total = 0u64;
     // Drop any stale cross-phase messages that are *due*. Traffic still in
     // the delay queue survives into this phase and arrives in the machine
     // round whose window covers its deliver-at tick.
@@ -395,18 +497,7 @@ pub fn run_phase_overlapped(
         };
 
         // Honest parties act first.
-        if threads <= 1 || machines.len() <= 1 {
-            for (&id, machine) in machines.iter_mut() {
-                let inbox = inboxes.remove(&id).unwrap_or_default();
-                if offline.contains(&id) {
-                    continue;
-                }
-                let mut ctx = net.ctx(id, rounds - 1);
-                machine.on_round(&mut ctx, &inbox);
-            }
-        } else {
-            step_machines_parallel(net, machines, &mut inboxes, rounds - 1, threads, &offline);
-        }
+        step(net, machines, &mut inboxes, rounds - 1, &offline);
 
         // Rushing: adversary sees this round's honest messages to corrupted
         // parties (they are in `net.staged` now) plus last round's deliveries
@@ -452,67 +543,6 @@ pub fn run_phase_overlapped(
         }
     }
     (PhaseOutcome { rounds, completed }, absorbed_total)
-}
-
-/// One parallel honest step: machines run on scoped workers with buffered
-/// contexts; effects merge in ascending id order (= sequential order, since
-/// the item list comes from a sorted map and chunks are contiguous).
-fn step_machines_parallel(
-    net: &mut Network,
-    machines: &mut BTreeMap<PartyId, Box<dyn Machine + Send + '_>>,
-    inboxes: &mut BTreeMap<PartyId, Vec<Envelope>>,
-    round: u64,
-    threads: usize,
-    offline: &BTreeSet<PartyId>,
-) {
-    let n = net.len();
-    let mut items: Vec<(PartyId, &mut (dyn Machine + Send), Vec<Envelope>)> = machines
-        .iter_mut()
-        .filter_map(|(&id, machine)| {
-            let inbox = inboxes.remove(&id).unwrap_or_default();
-            if offline.contains(&id) {
-                // Same as the sequential engine: the inbox is consumed and
-                // dropped, the machine is not stepped.
-                return None;
-            }
-            Some((id, machine.as_mut(), inbox))
-        })
-        .collect();
-    if items.is_empty() {
-        return; // every machine offline this round
-    }
-    let chunk_len = items.len().div_ceil(threads.max(1));
-    let mut batches: Vec<Vec<RoundEffects>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks_mut(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter_mut()
-                        .map(|(id, machine, inbox)| {
-                            let mut effects = RoundEffects::new();
-                            let mut ctx = Ctx::buffered(*id, round, n, &mut effects);
-                            machine.on_round(&mut ctx, inbox);
-                            effects
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(batch) => batches.push(batch),
-                // Re-raise machine panics with their original payload so
-                // `should_panic` expectations and chaos harnesses see the
-                // same message as under sequential execution.
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    for effects in batches.into_iter().flatten() {
-        net.apply_effects(effects);
-    }
 }
 
 #[cfg(test)]
@@ -590,7 +620,9 @@ mod tests {
 
     #[test]
     fn parallel_ring_matches_sequential() {
-        for threads in [2, 3, 7] {
+        // 0 is the sequential engine spelled differently; 7 > n exercises
+        // a pool capped at the machine count; the rest steal for real.
+        for threads in [0, 2, 3, 7, 64] {
             let n = 6u64;
             let mut seq_net = Network::new(n as usize);
             seq_net.enable_transcript();
@@ -781,6 +813,120 @@ mod tests {
             .collect();
         let mut adv = SilentAdversary::default();
         run_phase_threaded(&mut net, &mut machines, &mut adv, 2, 2);
+    }
+
+    /// A hash-bound machine that routes its per-round workload through
+    /// [`Ctx::hash_batch_into`] and (optionally) declares it up front via
+    /// [`Machine::hash_manifest`], XOR-folding the digests into a gossip
+    /// payload so any divergence — wrong digest, wrong order, stale
+    /// prefetch — corrupts the transcript.
+    struct ManifestGrind {
+        id: PartyId,
+        n: u64,
+        iters: usize,
+        rounds: u64,
+        quota: u64,
+        declare: bool,
+        scratch: Vec<pba_crypto::Digest>,
+    }
+
+    impl ManifestGrind {
+        fn workload(&self, inbox: &[Envelope]) -> Vec<Vec<u8>> {
+            let mut acc: u64 = self.rounds.wrapping_mul(0x9e37_79b9) ^ self.id.0;
+            for env in inbox {
+                acc ^= (env.payload.len() as u64).rotate_left(17) ^ env.from.0;
+            }
+            (0..self.iters)
+                .map(|i| {
+                    let mut input = Vec::with_capacity(20);
+                    input.extend_from_slice(&acc.to_le_bytes());
+                    input.extend_from_slice(&(i as u64).to_le_bytes());
+                    input.extend_from_slice(&(self.id.0 as u32).to_le_bytes());
+                    input
+                })
+                .collect()
+        }
+    }
+
+    impl Machine for ManifestGrind {
+        fn on_round(&mut self, ctx: &mut Ctx<'_>, inbox: &[Envelope]) {
+            let inputs = self.workload(inbox);
+            let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let mut digests = std::mem::take(&mut self.scratch);
+            ctx.hash_batch_into(&refs, &mut digests);
+            let fold = digests
+                .iter()
+                .fold(pba_crypto::Digest::ZERO, |acc, d| acc.xor(d));
+            self.scratch = digests;
+            let to = PartyId((self.id.0 + 1) % self.n);
+            ctx.send_raw(to, fold.as_bytes().to_vec());
+            self.rounds += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.rounds >= self.quota
+        }
+        fn hash_manifest(&self, inbox: &[Envelope]) -> Vec<Vec<u8>> {
+            if self.declare {
+                self.workload(inbox)
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn grind_machines(n: u64, declare: bool) -> BTreeMap<PartyId, Box<dyn Machine + Send>> {
+        (0..n)
+            .map(|i| {
+                (
+                    PartyId(i),
+                    Box::new(ManifestGrind {
+                        id: PartyId(i),
+                        n,
+                        // Ragged on purpose: 13 % LANES != 0, so per-party
+                        // batches leave scalar remainders the cross-party
+                        // pool absorbs.
+                        iters: 13,
+                        rounds: 0,
+                        quota: 4,
+                        declare,
+                        scratch: Vec::new(),
+                    }) as Box<dyn Machine + Send>,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn manifest_prefetch_matches_undeclared_and_sequential() {
+        // Reference: sequential, no manifest declared (pure on-demand).
+        let n = 9u64;
+        let mut seq_net = Network::new(n as usize);
+        seq_net.enable_transcript();
+        let mut seq_machines = grind_machines(n, false);
+        let mut adv = SilentAdversary::default();
+        let seq_out = run_phase(&mut seq_net, &mut seq_machines, &mut adv, 10);
+        assert!(seq_out.completed);
+
+        for declare in [false, true] {
+            for threads in [2, 4, 7] {
+                let mut net = Network::new(n as usize);
+                net.enable_transcript();
+                let mut machines = grind_machines(n, declare);
+                let mut adv = SilentAdversary::default();
+                let out = run_phase_threaded(&mut net, &mut machines, &mut adv, 10, threads);
+                assert_eq!(seq_out, out, "declare={declare} threads={threads}");
+                assert_eq!(
+                    seq_net.report(),
+                    net.report(),
+                    "declare={declare} threads={threads}"
+                );
+                assert_eq!(
+                    seq_net.transcript(),
+                    net.transcript(),
+                    "declare={declare} threads={threads}"
+                );
+            }
+        }
     }
 
     use crate::faults::{LatencyDist, TimingModel};

@@ -1,9 +1,13 @@
-//! Differential test of the deterministic parallel round engine: every
-//! chaos-matrix strategy × placement at n = 48 is executed sequentially
-//! and with 2, 4, and 7 workers from the same seed, and the runs must be
-//! *bit-identical* — same [`RoundOutcome`]/[`ProtocolError`], same staged
-//! envelope transcript (compared round by round, so a divergence names
-//! the first differing round), and the same [`pba_net::Report`] snapshot.
+//! Differential test of the deterministic work-stealing round engine:
+//! every chaos-matrix strategy × placement at n = 48 is executed
+//! sequentially and with 0, 2, 4, 7, and 64 workers from the same seed,
+//! and the runs must be *bit-identical* — same
+//! [`RoundOutcome`]/[`ProtocolError`], same staged envelope transcript
+//! (compared round by round, so a divergence names the first differing
+//! round), and the same [`pba_net::Report`] snapshot. The degenerate
+//! knob values are deliberate: `threads = 0` must alias the sequential
+//! path, and `threads = 64 > n` must cap at one machine per worker
+//! rather than spinning up idle stealers that could race the injector.
 //!
 //! The threads knob reaches both threaded sub-protocols
 //! ([`pba_core::protocol::Session::try_committee_ba`] and the VSS coin),
@@ -123,7 +127,7 @@ fn check_cases(cases: &[ChaosCase]) {
             "case [{}]: reference run recorded no rounds",
             case.key()
         );
-        for threads in [2usize, 4, 7] {
+        for threads in [0usize, 2, 4, 7, 64] {
             let parallel = run_with_threads(case, threads);
             assert_same_transcript(case, threads, &reference.transcript, &parallel.transcript);
             assert_eq!(

@@ -76,13 +76,16 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Thread-count invariance: any worker count reproduces the
-    /// sequential run bit for bit, under every catalogue strategy.
+    /// sequential run bit for bit, under every catalogue strategy — the
+    /// degenerate knobs included (`threads = 0` aliases the sequential
+    /// path; `threads = 33 > n` caps at one machine per worker instead
+    /// of spawning idle stealers).
     #[test]
     fn thread_count_invariance(
         n in 6usize..24,
         t_raw in 0usize..6,
         spec_idx in 0usize..10,
-        threads in 2usize..9,
+        threads in prop_oneof![Just(0usize), 2usize..9, Just(33usize)],
         seed in any::<[u8; 8]>(),
     ) {
         let t = t_raw.min((n - 1) / 3);

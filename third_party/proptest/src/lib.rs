@@ -217,6 +217,22 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A strategy choosing uniformly among boxed sub-strategies with a
+/// common value type — the subset of upstream's `prop_oneof!` this
+/// workspace uses (no weights; upstream's per-variant shrinking does
+/// not apply since strategies here are plain samplers). Built by
+/// [`prop_oneof!`].
+pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "empty prop_oneof");
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
 /// Types with a canonical "uniform" strategy (see [`any`]).
 pub trait Arbitrary: Sized {
     /// Generates one uniform value.
@@ -390,8 +406,27 @@ pub fn run_once<F: FnOnce()>(body: F) {
 /// Everything the tests import with `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+/// Boxes one `prop_oneof!` variant; a named function (rather than an
+/// `as Box<dyn Strategy<Value = _>>` cast, whose placeholder would hit
+/// integer fallback before the surrounding `vec!` unifies it) so the
+/// value type is pinned by the strategy itself.
+#[doc(hidden)]
+pub fn boxed_strategy<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Builds a [`Union`] strategy choosing uniformly among the given
+/// sub-strategies (which must share one value type), e.g.
+/// `prop_oneof![Just(0usize), 2usize..9, Just(33usize)]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$( $crate::boxed_strategy($strategy) ),+])
     };
 }
 
@@ -477,6 +512,22 @@ mod tests {
         let c: [u8; 8] = any().generate(&mut TestRng::new(7, "x", 4));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oneof_hits_every_variant_and_respects_each() {
+        let strat = prop_oneof![Just(0usize), 2usize..9, Just(33usize)];
+        let mut rng = TestRng::new(5, "u", 0);
+        let mut saw = [false; 3];
+        for _ in 0..500 {
+            match strat.generate(&mut rng) {
+                0 => saw[0] = true,
+                2..=8 => saw[1] = true,
+                33 => saw[2] = true,
+                v => panic!("value {v} outside every prop_oneof variant"),
+            }
+        }
+        assert_eq!(saw, [true; 3], "some variant was never chosen");
     }
 
     #[test]
